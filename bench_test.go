@@ -1,0 +1,200 @@
+// Benchmarks: one testing.B target per table/figure of the paper's
+// evaluation (§5, §6). Each runs the corresponding experiment at reduced
+// sweep size and reports the headline metric through b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation and
+// cmd/f4tbench prints the full tables.
+package f4t_test
+
+import (
+	"testing"
+
+	"f4t/internal/exp"
+)
+
+// runTable executes a table-producing experiment once per benchmark
+// iteration (the iteration count stays 1 for these macro-benchmarks —
+// the metric of interest is the simulated-system throughput, not Go
+// wall time).
+func runTable(b *testing.B, fn func() *exp.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab := fn()
+		if len(tab.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+// BenchmarkFig01NginxLinux reproduces Figure 1: Nginx on Linux, the CPU
+// share of TCP and the request rate.
+func BenchmarkFig01NginxLinux(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.Fig1(true) })
+}
+
+// BenchmarkFig02RMWStalls reproduces Figure 2: the bulk-transfer gap
+// between the stalling (w-RMW) and stall-free (w/o-RMW) designs.
+func BenchmarkFig02RMWStalls(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		wr := exp.DriveFPC(exp.WRMWDesign(), 1, 128, 100_000)
+		wo := exp.DriveFPC(exp.WoRMWDesign(), 1, 128, 100_000)
+		gap = wo / wr
+	}
+	b.ReportMetric(gap, "gap-x")
+}
+
+// BenchmarkFig07bResources reproduces Figure 7b: the resource model.
+func BenchmarkFig07bResources(b *testing.B) {
+	runTable(b, exp.Fig7b)
+}
+
+// BenchmarkFig08Bulk reproduces Figure 8a's headline point: F4T bulk
+// 128 B with two cores (paper: 87 Gbps).
+func BenchmarkFig08Bulk(b *testing.B) {
+	var res exp.TransferResult
+	for i := 0; i < b.N; i++ {
+		res = exp.TransferPoint("f4t", false, 128, 2, nil)
+	}
+	b.ReportMetric(res.GoodputGbps, "Gbps")
+	b.ReportMetric(res.Mrps, "Mrps")
+}
+
+// BenchmarkFig08BulkLinux is the Linux comparator (paper: ~2 Gbps at 2
+// cores).
+func BenchmarkFig08BulkLinux(b *testing.B) {
+	var res exp.TransferResult
+	for i := 0; i < b.N; i++ {
+		res = exp.TransferPoint("linux", false, 128, 2, nil)
+	}
+	b.ReportMetric(res.GoodputGbps, "Gbps")
+}
+
+// BenchmarkFig08RoundRobin reproduces Figure 8b: low-locality traffic,
+// F4T one core (paper: 35 Gbps).
+func BenchmarkFig08RoundRobin(b *testing.B) {
+	var res exp.TransferResult
+	for i := 0; i < b.N; i++ {
+		res = exp.TransferPoint("f4t", true, 128, 1, nil)
+	}
+	b.ReportMetric(res.GoodputGbps, "Gbps")
+}
+
+// BenchmarkFig09RequestSizes reproduces Figure 9's PCIe-bound point:
+// 16 B requests on 16 cores (paper: 396 Mrps).
+func BenchmarkFig09RequestSizes(b *testing.B) {
+	var res exp.TransferResult
+	for i := 0; i < b.N; i++ {
+		res = exp.TransferPoint("f4t", false, 16, 16, nil)
+	}
+	b.ReportMetric(res.Mrps, "Mrps")
+}
+
+// BenchmarkFig10Nginx reproduces Figure 10's saturation comparison:
+// F4T vs Linux request rate at one core, 64 flows (paper: 2.6–2.8×).
+func BenchmarkFig10Nginx(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f := exp.NginxPoint("f4t", 1, 64)
+		l := exp.NginxPoint("linux", 1, 64)
+		ratio = f.Krps / l.Krps
+	}
+	b.ReportMetric(ratio, "speedup-x")
+}
+
+// BenchmarkFig11Breakdown reproduces Figure 11: the app-cycle ratio
+// (paper: 2.8×).
+func BenchmarkFig11Breakdown(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		f := exp.NginxPoint("f4t", 1, 64)
+		l := exp.NginxPoint("linux", 1, 64)
+		ratio = f.Breakdown["app"] / l.Breakdown["app"]
+	}
+	b.ReportMetric(ratio, "app-ratio-x")
+}
+
+// BenchmarkFig12Latency reproduces Figure 12: Nginx median latency,
+// Linux over F4T (paper: 3.7× median, 26× p99).
+func BenchmarkFig12Latency(b *testing.B) {
+	var med, p99 float64
+	for i := 0; i < b.N; i++ {
+		f := exp.NginxPoint("f4t", 1, 64)
+		l := exp.NginxPoint("linux", 1, 64)
+		med = float64(l.MedianNS) / float64(f.MedianNS)
+		p99 = float64(l.P99NS) / float64(f.P99NS)
+	}
+	b.ReportMetric(med, "median-x")
+	b.ReportMetric(p99, "p99-x")
+}
+
+// BenchmarkFig13Connectivity reproduces Figure 13's crossover point:
+// the echo rate at 4,096 flows (past the 1,024-flow FPC capacity) for
+// DDR vs HBM TCB stores.
+func BenchmarkFig13Connectivity(b *testing.B) {
+	var ddr, hbm float64
+	for i := 0; i < b.N; i++ {
+		ddr, _ = exp.EchoPoint("f4t-ddr", 4096)
+		hbm, _ = exp.EchoPoint("f4t-hbm", 4096)
+	}
+	b.ReportMetric(ddr, "ddr-Mrps")
+	b.ReportMetric(hbm, "hbm-Mrps")
+}
+
+// BenchmarkFig14Cwnd reproduces Figure 14: congestion-window sawtooth
+// agreement between F4T and the independent reference.
+func BenchmarkFig14Cwnd(b *testing.B) {
+	var epochs int
+	for i := 0; i < b.N; i++ {
+		tr := exp.F4TCwndTrace("newreno", 2000, 3_000_000, 25_000)
+		epochs = tr.LossEpochs()
+	}
+	b.ReportMetric(float64(epochs), "loss-epochs")
+}
+
+// BenchmarkFig15Versatility reproduces Figure 15: the F4T event rate at
+// an FPU latency of 68 cycles (Vegas depth) — paper: flat 125 M/s.
+func BenchmarkFig15Versatility(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		rate = exp.DriveFPC(exp.F4TFPCDesign(68, "vegas"), 64, 128, 100_000)
+	}
+	b.ReportMetric(rate/1e6, "Mevents/s")
+}
+
+// BenchmarkFig16aHeaderScaling reproduces Figure 16a at 8 cores.
+func BenchmarkFig16aHeaderScaling(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.Fig16a(true) })
+}
+
+// BenchmarkFig16bAblation reproduces Figure 16b: the design ablation
+// (Baseline → 1FPC → 1FPC-C → F4T).
+func BenchmarkFig16bAblation(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.Fig16b(true) })
+}
+
+// BenchmarkTable54Algorithms reproduces the §5.4 result: all three CC
+// programs reach the same peak rate despite 14/41/68-cycle pipelines.
+func BenchmarkTable54Algorithms(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.AlgorithmTable(true) })
+}
+
+// BenchmarkAblationFPCScaling isolates the parallel-FPC contribution
+// (§4.4.2) on round-robin traffic.
+func BenchmarkAblationFPCScaling(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.AblationFPCScaling(true) })
+}
+
+// BenchmarkAblationCoalescing isolates the event-coalescing contribution
+// (§4.4.1) on bulk traffic.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.AblationCoalescing(true) })
+}
+
+// BenchmarkAblationTCBCache sweeps the memory manager's TCB cache on the
+// DDR echo workload (§4.3.1).
+func BenchmarkAblationTCBCache(b *testing.B) {
+	runTable(b, func() *exp.Table { return exp.AblationTCBCache(true) })
+}

@@ -1,0 +1,91 @@
+// f4tbench regenerates the tables and figures of the F4T paper's
+// evaluation (§5, §6) from simulation.
+//
+// Usage:
+//
+//	f4tbench -exp fig8            # one experiment
+//	f4tbench -exp all -quick      # everything, reduced sweeps
+//
+// Experiments: table1 table2 fig1 fig2 fig7b fig8 fig9 fig10 fig11
+// fig12 fig13 fig14 fig15 fig16a fig16b alg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"f4t/internal/exp"
+)
+
+var runners = map[string]func(quick bool) *exp.Table{
+	"table1": func(bool) *exp.Table { return exp.Table1() },
+	"table2": func(bool) *exp.Table { return exp.Table2() },
+	"fig1":   exp.Fig1,
+	"fig2":   exp.Fig2,
+	"fig7b":  func(bool) *exp.Table { return exp.Fig7b() },
+	"fig8":   exp.Fig8,
+	"fig9":   exp.Fig9,
+	"fig10":  exp.Fig10,
+	"fig11":  func(bool) *exp.Table { return exp.Fig11() },
+	"fig12":  func(bool) *exp.Table { return exp.Fig12() },
+	"fig13":  exp.Fig13,
+	"fig14":  exp.Fig14,
+	"fig15":  exp.Fig15,
+	"fig16a": exp.Fig16a,
+	"fig16b": exp.Fig16b,
+	"alg":    exp.AlgorithmTable,
+
+	// Ablations of the design choices DESIGN.md calls out (not paper
+	// figures; they isolate each mechanism's contribution).
+	"abl-fpcs":     exp.AblationFPCScaling,
+	"abl-coalesce": exp.AblationCoalescing,
+	"abl-cache":    exp.AblationTCBCache,
+}
+
+// order fixes the presentation sequence for -exp all.
+var order = []string{
+	"table1", "table2", "fig1", "fig2", "fig7b", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
+	"fig16b", "alg", "abl-fpcs", "abl-coalesce", "abl-cache",
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	flag.Parse()
+
+	if *expFlag == "list" {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	run := func(name string) {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "f4tbench: unknown experiment %q (try -exp list)\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab := r(*quick)
+		fmt.Print(tab.String())
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *expFlag == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	run(*expFlag)
+}

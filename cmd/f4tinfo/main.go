@@ -1,0 +1,31 @@
+// f4tinfo prints the design-summary artifacts that need no simulation:
+// the resource model (Figure 7b) and the qualitative comparison tables
+// (Tables 1 and 2).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"f4t/internal/exp"
+)
+
+func main() {
+	which := flag.String("show", "all", "what to print: fig7b, table1, table2, all")
+	flag.Parse()
+
+	switch *which {
+	case "fig7b":
+		fmt.Print(exp.Fig7b().String())
+	case "table1":
+		fmt.Print(exp.Table1().String())
+	case "table2":
+		fmt.Print(exp.Table2().String())
+	default:
+		fmt.Print(exp.Table1().String())
+		fmt.Println()
+		fmt.Print(exp.Table2().String())
+		fmt.Println()
+		fmt.Print(exp.Fig7b().String())
+	}
+}

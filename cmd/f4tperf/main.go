@@ -1,0 +1,44 @@
+// f4tperf is the iPerf of the simulated testbed: run one data-transfer
+// workload on either stack and print its goodput and request rate.
+//
+// Usage:
+//
+//	f4tperf -stack f4t -pattern bulk -size 128 -cores 2
+//	f4tperf -stack linux -pattern rr -size 64 -cores 8
+//	f4tperf -stack f4t -pattern echo -flows 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"f4t/internal/exp"
+)
+
+func main() {
+	stack := flag.String("stack", "f4t", "stack under test: f4t or linux")
+	pattern := flag.String("pattern", "bulk", "workload: bulk, rr (round-robin), echo")
+	size := flag.Int("size", 128, "request size in bytes")
+	cores := flag.Int("cores", 2, "sender CPU cores")
+	flows := flag.Int("flows", 1024, "concurrent flows (echo pattern)")
+	flag.Parse()
+
+	switch *pattern {
+	case "bulk", "rr":
+		res := exp.TransferPoint(*stack, *pattern == "rr", *size, *cores, nil)
+		fmt.Printf("%s %s: %d B requests, %d cores -> %.1f Gbps goodput, %.1f Mrps\n",
+			*stack, *pattern, *size, *cores, res.GoodputGbps, res.Mrps)
+	case "echo":
+		kind := *stack
+		if kind == "f4t" {
+			kind = "f4t-hbm"
+		}
+		mrps, frac := exp.EchoPoint(kind, *flows)
+		fmt.Printf("%s echo: %d flows (%.0f%% established) -> %.2f Mrps round trips\n",
+			kind, *flows, frac*100, mrps)
+	default:
+		fmt.Fprintf(os.Stderr, "f4tperf: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+}

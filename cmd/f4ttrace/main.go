@@ -1,0 +1,34 @@
+// f4ttrace emits congestion-window traces (Figure 14) as CSV: the F4T
+// engine under cycle-level simulation and the independent reference
+// simulator, side by side.
+//
+// Usage:
+//
+//	f4ttrace -alg cubic -drop 2000 -ms 32 > cwnd.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"f4t/internal/exp"
+)
+
+func main() {
+	alg := flag.String("alg", "newreno", "congestion control algorithm (newreno, cubic, vegas)")
+	drop := flag.Int64("drop", 2000, "drop every Nth data packet")
+	ms := flag.Int64("ms", 32, "trace duration in simulated milliseconds")
+	flag.Parse()
+
+	cycles := *ms * 250_000 // 250 cycles per microsecond at 250 MHz
+	f4tTrace := exp.F4TCwndTrace(*alg, *drop, cycles, 25_000)
+	refTrace := exp.RefCwndTrace(*alg, *drop, *ms*1_000_000, 100_000)
+
+	fmt.Println("impl,time_us,cwnd_bytes")
+	for i := range f4tTrace.AtNS {
+		fmt.Printf("f4t,%.1f,%d\n", float64(f4tTrace.AtNS[i])/1e3, f4tTrace.Cwnd[i])
+	}
+	for i := range refTrace.AtNS {
+		fmt.Printf("reference,%.1f,%d\n", float64(refTrace.AtNS[i])/1e3, refTrace.Cwnd[i])
+	}
+}

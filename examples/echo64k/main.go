@@ -1,0 +1,71 @@
+// Echo64k: the connectivity story (§5.3) — thousands of concurrent
+// ping-pong connections forcing TCB migration between the FPCs' SRAM
+// and device DRAM, with the scheduler/memory-manager statistics that
+// show the machinery at work.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"f4t/internal/apps"
+	"f4t/internal/core"
+	"f4t/internal/engine"
+	"f4t/internal/engine/memmgr"
+)
+
+func main() {
+	flows := flag.Int("flows", 8192, "concurrent echo connections")
+	useHBM := flag.Bool("hbm", true, "use HBM for the TCB store (else DDR4)")
+	flag.Parse()
+
+	mem := memmgr.DDR
+	if *useHBM {
+		mem = memmgr.HBM
+	}
+	cfgA := core.DefaultHostA(8)
+	cfgB := core.DefaultHostB(8)
+	for _, c := range []*core.HostConfig{&cfgA, &cfgB} {
+		ec := engine.DefaultConfig()
+		ec.Memory = mem
+		c.Engine = ec
+	}
+	tb := core.NewTestbed(cfgA, cfgB, 100)
+
+	srv := apps.NewEchoServer(tb.B.Threads(), 9001, 128)
+	tb.K.Register(srv)
+	tb.K.Run(2_000)
+	cli := apps.NewEchoClient(tb.K, tb.A.Threads(), 0, 9001, 128, *flows/8)
+	tb.K.Register(cli)
+
+	// Ramp up all connections.
+	for i := 0; i < 1000 && !cli.Ready(); i++ {
+		tb.K.Run(50_000)
+	}
+	fmt.Printf("established %d connections at t=%.1f ms\n", cli.Established(), float64(tb.K.NowNS())/1e6)
+
+	// Measure a steady-state window.
+	tb.K.Run(250_000)
+	cli.Requests.Snapshot(tb.K.Now())
+	tb.K.Run(1_500_000)
+	rate := cli.Requests.RatePerSecond(tb.K.Now())
+
+	memKind := "DDR4"
+	if *useHBM {
+		memKind = "HBM"
+	}
+	fmt.Printf("echo rate: %.1f Mrps with %s TCB store\n", rate/1e6, memKind)
+	fmt.Printf("p50 round trip: %.1f us, p99: %.1f us\n",
+		float64(cli.Latency.Median())/1e3, float64(cli.Latency.P99())/1e3)
+
+	for _, side := range []struct {
+		name string
+		sys  *core.System
+	}{{"A", tb.A}, {"B", tb.B}} {
+		s := side.sys.Engine.Scheduler()
+		m := side.sys.Engine.Mem()
+		fmt.Printf("engine %s: %5d flows total, %5d resident in DRAM; %d migrations, %d swap-ins, %d DRAM cache hits / %d misses\n",
+			side.name, side.sys.Engine.FlowCount(), m.FlowCount(),
+			s.Migrations.Total(), s.SwapIns.Total(), m.CacheHits.Total(), m.CacheMiss.Total())
+	}
+}

@@ -1,0 +1,113 @@
+// Package f4t is a full-system reproduction of "F4T: A Fast and Flexible
+// FPGA-based Full-stack TCP Acceleration Framework" (ISCA 2023) as a
+// discrete-time simulation: a cycle-level model of the FtEngine hardware
+// (flow processing cores, scheduler, memory manager, data path), the F4T
+// software stack (library, runtime, per-thread command queues over a
+// PCIe model), a complete TCP protocol engine with pluggable
+// congestion-control "FPU programs", the Linux-stack baseline, and the
+// full evaluation harness that regenerates every figure and table of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	tb := f4t.NewTestbed(f4t.HostA(2), f4t.HostB(2))
+//	var srv f4t.Conn
+//	server := tb.B.Threads()[0]
+//	server.Listen(80)
+//	client := tb.A.Threads()[0]
+//	conn := client.Dial(0, 80)
+//	tb.Run(1_000_000) // one million 4 ns cycles = 4 ms
+//
+// See examples/ for runnable programs and internal/exp for the
+// experiment runners behind cmd/f4tbench.
+package f4t
+
+import (
+	"f4t/internal/core"
+	"f4t/internal/cpu"
+	"f4t/internal/engine"
+	"f4t/internal/engine/memmgr"
+	"f4t/internal/host"
+	"f4t/internal/sim"
+)
+
+// Conn is one TCP connection as seen by an application thread. Socket
+// operations charge simulated CPU time and may return 0 when the core
+// or buffers are busy — retry on a later cycle, as with a non-blocking
+// socket.
+type Conn = host.Conn
+
+// Thread is one application thread pinned to a CPU core, owning a
+// command/completion queue pair to the engine (§4.6: per-thread queues,
+// no sharing, no locks).
+type Thread = host.Thread
+
+// ConnEvent is an epoll-style readiness notification.
+type ConnEvent = host.ConnEvent
+
+// Readiness event kinds.
+const (
+	EvConnected = host.EvConnected
+	EvAccepted  = host.EvAccepted
+	EvReadable  = host.EvReadable
+	EvWritable  = host.EvWritable
+	EvHangup    = host.EvHangup
+)
+
+// HostConfig describes one F4T host (addresses, cores, hardware design
+// point, CPU cost table).
+type HostConfig = core.HostConfig
+
+// EngineConfig selects the FtEngine design point (FPC count, memory
+// kind, congestion-control program, command width...).
+type EngineConfig = engine.Config
+
+// Memory kinds for the TCB store (§4.7).
+const (
+	MemoryDDR = memmgr.DDR
+	MemoryHBM = memmgr.HBM
+)
+
+// DefaultEngineConfig is the paper's reference design: 8 FPCs × 128
+// flows, HBM, event coalescing, 16 B commands.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// DefaultCosts is the calibrated CPU cost table (see internal/cpu for
+// each constant's derivation from the paper).
+func DefaultCosts() cpu.Costs { return cpu.DefaultCosts() }
+
+// HostA returns the standard node-A host configuration with the given
+// core count.
+func HostA(cores int) HostConfig { return core.DefaultHostA(cores) }
+
+// HostB returns the standard node-B host configuration.
+func HostB(cores int) HostConfig { return core.DefaultHostB(cores) }
+
+// Testbed is two F4T hosts direct-connected by a 100 Gbps link — the
+// evaluation topology of §5.
+type Testbed struct {
+	inner *core.Testbed
+	// A and B are the two hosts.
+	A, B *core.System
+}
+
+// NewTestbed builds the two-node testbed.
+func NewTestbed(a, b HostConfig) *Testbed {
+	tb := core.NewTestbed(a, b, 100)
+	return &Testbed{inner: tb, A: tb.A, B: tb.B}
+}
+
+// Kernel exposes the simulation clock.
+func (t *Testbed) Kernel() *sim.Kernel { return t.inner.K }
+
+// Run advances the simulation by n cycles (4 ns each).
+func (t *Testbed) Run(n int64) { t.inner.K.Run(n) }
+
+// RunUntil advances until the predicate holds or the budget is spent,
+// reporting whether it held.
+func (t *Testbed) RunUntil(pred func() bool, budget int64) bool {
+	return t.inner.K.RunUntil(pred, budget)
+}
+
+// NowNS returns the simulated time in nanoseconds.
+func (t *Testbed) NowNS() int64 { return t.inner.K.NowNS() }

@@ -1,0 +1,109 @@
+package f4t_test
+
+import (
+	"testing"
+
+	"f4t"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface the
+// way examples/quickstart does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	tb := f4t.NewTestbed(f4t.HostA(2), f4t.HostB(2))
+	server := tb.B.Threads()[0]
+	server.Listen(80)
+	client := tb.A.Threads()[0]
+	conn := client.Dial(0, 80)
+	if conn == nil {
+		t.Fatal("dial returned nil")
+	}
+	if !tb.RunUntil(conn.Established, 2_000_000) {
+		t.Fatal("handshake timed out")
+	}
+
+	const total = 32 * 1024
+	sent, received := 0, 0
+	var srvConn f4t.Conn
+	ok := tb.RunUntil(func() bool {
+		for _, ev := range server.Poll() {
+			switch ev.Kind {
+			case f4t.EvAccepted:
+				srvConn = ev.Conn
+			case f4t.EvReadable:
+				received += ev.Conn.TryRecv(1 << 20)
+			}
+		}
+		if srvConn != nil {
+			received += srvConn.TryRecv(1 << 20)
+		}
+		client.Poll()
+		if sent < total {
+			sent += conn.TrySend(total-sent, nil)
+		}
+		return received >= total
+	}, 20_000_000)
+	if !ok {
+		t.Fatalf("transfer stalled: %d/%d", received, total)
+	}
+
+	conn.Close()
+	closedSrv := false
+	if !tb.RunUntil(func() bool {
+		for _, ev := range server.Poll() {
+			if ev.Kind == f4t.EvHangup && !closedSrv {
+				closedSrv = true
+				srvConn.Close()
+			}
+		}
+		client.Poll()
+		return conn.Closed()
+	}, 50_000_000) {
+		t.Fatal("close timed out")
+	}
+	if tb.NowNS() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}
+
+// TestPublicAPIConfigSurface checks the exported configuration knobs.
+func TestPublicAPIConfigSurface(t *testing.T) {
+	ec := f4t.DefaultEngineConfig()
+	if ec.NumFPCs != 8 || ec.SlotsPerFPC != 128 || ec.MaxFlows != 65536 {
+		t.Fatalf("reference design changed: %+v", ec)
+	}
+	if ec.Memory != f4t.MemoryHBM {
+		t.Fatal("default memory is not HBM")
+	}
+	costs := f4t.DefaultCosts()
+	if costs.F4TSendCost() <= 0 {
+		t.Fatal("cost table empty")
+	}
+	a, b := f4t.HostA(4), f4t.HostB(4)
+	if a.IP == b.IP || a.MAC == b.MAC {
+		t.Fatal("host identities collide")
+	}
+}
+
+// TestPublicAPICustomDesign runs a testbed on a non-default design point
+// (1 FPC, DDR, CUBIC) to confirm the configuration surface is honoured.
+func TestPublicAPICustomDesign(t *testing.T) {
+	a := f4t.HostA(1)
+	ec := f4t.DefaultEngineConfig()
+	ec.NumFPCs = 1
+	ec.SlotsPerFPC = 16
+	ec.Memory = f4t.MemoryDDR
+	ec.Alg = "cubic"
+	a.Engine = ec
+	b := f4t.HostB(1)
+	b.Engine = ec
+
+	tb := f4t.NewTestbed(a, b)
+	tb.B.Threads()[0].Listen(80)
+	conn := tb.A.Threads()[0].Dial(0, 80)
+	if !tb.RunUntil(conn.Established, 3_000_000) {
+		t.Fatal("handshake on custom design timed out")
+	}
+	if got := len(tb.A.Engine.FPCs()); got != 1 {
+		t.Fatalf("FPC count = %d", got)
+	}
+}

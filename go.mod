@@ -1,0 +1,3 @@
+module f4t
+
+go 1.22

@@ -1,0 +1,227 @@
+package apps
+
+import (
+	"testing"
+
+	"f4t/internal/cpu"
+	"f4t/internal/host"
+	"f4t/internal/sim"
+)
+
+// fakeConn is an in-memory loopback connection pair for app unit tests:
+// bytes sent on one side become available on the other immediately.
+type fakeConn struct {
+	peer        *fakeConn
+	established bool
+	avail       int
+	sendSpace   int
+	events      *[]host.ConnEvent
+	closed      bool
+}
+
+func (c *fakeConn) TrySend(n int, _ []byte) int { return c.SendQueued(n, nil) }
+func (c *fakeConn) SendQueued(n int, _ []byte) int {
+	if !c.established || c.closed {
+		return 0
+	}
+	if n > c.sendSpace {
+		n = c.sendSpace
+	}
+	if n <= 0 {
+		return 0
+	}
+	c.sendSpace -= n
+	c.peer.avail += n
+	if c.peer.events != nil {
+		*c.peer.events = append(*c.peer.events, host.ConnEvent{Kind: host.EvReadable, Conn: c.peer})
+	}
+	return n
+}
+func (c *fakeConn) TryRecv(max int) int { return c.RecvQueued(max) }
+func (c *fakeConn) RecvQueued(max int) int {
+	n := c.avail
+	if n > max {
+		n = max
+	}
+	c.avail -= n
+	return n
+}
+func (c *fakeConn) Available() int    { return c.avail }
+func (c *fakeConn) SendSpace() int    { return c.sendSpace }
+func (c *fakeConn) Close()            { c.closed = true }
+func (c *fakeConn) Established() bool { return c.established }
+func (c *fakeConn) PeerClosed() bool  { return false }
+func (c *fakeConn) Closed() bool      { return c.closed }
+
+// fakeThread implements host.Thread over fakeConns; Dial connects to the
+// fake server thread and fires the accept/connect events.
+type fakeThread struct {
+	k      *sim.Kernel
+	core   *cpu.Core
+	events []host.ConnEvent
+	server *fakeThread
+	// dialGate lets tests simulate full command queues (Dial → nil).
+	dialGate func() bool
+}
+
+func newFakeThread(k *sim.Kernel, server *fakeThread) *fakeThread {
+	return &fakeThread{k: k, core: cpu.NewCore(k), server: server}
+}
+
+func (t *fakeThread) Core() *cpu.Core { return t.core }
+func (t *fakeThread) Listen(uint16)   {}
+func (t *fakeThread) Dial(int, uint16) host.Conn {
+	if t.dialGate != nil && !t.dialGate() {
+		return nil
+	}
+	cli := &fakeConn{established: true, sendSpace: 1 << 20, events: &t.events}
+	srv := &fakeConn{established: true, sendSpace: 1 << 20, peer: cli}
+	cli.peer = srv
+	if t.server != nil {
+		srv.events = &t.server.events
+		t.server.events = append(t.server.events, host.ConnEvent{Kind: host.EvAccepted, Conn: srv})
+	}
+	t.events = append(t.events, host.ConnEvent{Kind: host.EvConnected, Conn: cli})
+	return cli
+}
+func (t *fakeThread) Poll() []host.ConnEvent {
+	out := t.events
+	t.events = nil
+	return out
+}
+
+func TestEchoAppsRoundTrip(t *testing.T) {
+	k := sim.New()
+	server := newFakeThread(k, nil)
+	client := newFakeThread(k, server)
+
+	srv := NewEchoServer([]host.Thread{server}, 9001, 128)
+	cli := NewEchoClient(k, []host.Thread{client}, 0, 9001, 128, 4)
+	k.Register(srv)
+	k.Register(cli)
+	k.Run(10_000)
+	if !cli.Ready() {
+		t.Fatalf("echo client not ready: %d established", cli.Established())
+	}
+	if cli.Requests.Total() == 0 {
+		t.Fatal("no echo round trips completed")
+	}
+	if cli.Latency.Count() == 0 {
+		t.Fatal("no latencies recorded")
+	}
+}
+
+func TestHTTPServerServesWrk(t *testing.T) {
+	k := sim.New()
+	serverTh := newFakeThread(k, nil)
+	clientTh := newFakeThread(k, serverTh)
+	costs := cpu.DefaultCosts()
+
+	srv := NewHTTPServer([]host.Thread{serverTh}, 80, 128, 256, costs)
+	wrk := NewWrk(k, []host.Thread{clientTh}, 0, 80, 128, 256, 8, costs)
+	k.Register(srv)
+	k.Register(wrk)
+	k.Run(200_000)
+	if srv.Requests.Total() == 0 || wrk.Responses.Total() == 0 {
+		t.Fatalf("srv=%d wrk=%d", srv.Requests.Total(), wrk.Responses.Total())
+	}
+	// Closed loop: responses cannot exceed requests served.
+	if wrk.Responses.Total() > srv.Requests.Total() {
+		t.Fatal("more responses than served requests")
+	}
+	// The server charged app + kernel work.
+	if serverTh.core.Spent(cpu.CatApp) == 0 || serverTh.core.Spent(cpu.CatKernel) == 0 {
+		t.Fatal("HTTP server charged no app/kernel work")
+	}
+}
+
+func TestBulkSenderPushes(t *testing.T) {
+	k := sim.New()
+	serverTh := newFakeThread(k, nil)
+	clientTh := newFakeThread(k, serverTh)
+	sink := NewSink([]host.Thread{serverTh}, 5001)
+	b := NewBulkSender([]host.Thread{clientTh}, 0, 5001, 128)
+	k.Register(sink)
+	k.Register(b)
+	k.Run(10_000)
+	if b.Requests.Total() == 0 || sink.Delivered.Total() == 0 {
+		t.Fatalf("requests=%d delivered=%d", b.Requests.Total(), sink.Delivered.Total())
+	}
+	if sink.Delivered.Total() != b.Bytes.Total() {
+		t.Fatalf("byte conservation: sent %d, delivered %d", b.Bytes.Total(), sink.Delivered.Total())
+	}
+}
+
+func TestRoundRobinRotation(t *testing.T) {
+	k := sim.New()
+	serverTh := newFakeThread(k, nil)
+	clientTh := newFakeThread(k, serverTh)
+	sink := NewSink([]host.Thread{serverTh}, 5001)
+	rr := NewRoundRobinSender([]host.Thread{clientTh}, 0, 5001, 128, 16)
+	k.Register(sink)
+	k.Register(rr)
+	k.Run(10_000)
+	if !rr.Ready() {
+		t.Fatal("rotation flows not established")
+	}
+	if rr.Requests.Total() == 0 {
+		t.Fatal("no requests sent")
+	}
+}
+
+func TestDialerRampWindow(t *testing.T) {
+	k := sim.New()
+	th := newFakeThread(k, nil)
+	// Gate dials so connections never establish... they establish
+	// immediately in the fake, so instead verify the want count and
+	// pacing bound: with dialsPerTick=2 the dialer needs want/2 ticks.
+	d := newDialer([]host.Thread{th}, 0, 1, 10, nil)
+	if d.tick() {
+		t.Fatal("done after one tick with want=10, pace=2")
+	}
+	for i := 0; i < 4; i++ {
+		d.tick()
+	}
+	if !d.allEstablished() || d.established() != 10 {
+		t.Fatalf("established = %d", d.established())
+	}
+}
+
+func TestDialerRetriesNilDials(t *testing.T) {
+	k := sim.New()
+	th := newFakeThread(k, nil)
+	allow := false
+	th.dialGate = func() bool { return allow }
+	d := newDialer([]host.Thread{th}, 0, 1, 3, nil)
+	for i := 0; i < 5; i++ {
+		if d.tick() {
+			t.Fatal("done while dials are refused")
+		}
+	}
+	allow = true
+	d.tick()
+	d.tick()
+	if !d.allEstablished() {
+		t.Fatal("dialer did not recover once dials were accepted")
+	}
+}
+
+func TestConnSetSemantics(t *testing.T) {
+	s := newConnSet()
+	a := &fakeConn{}
+	b := &fakeConn{}
+	s.Add(a)
+	s.Add(b)
+	s.Add(a) // idempotent
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	visited := 0
+	s.Each(func(c host.Conn) {
+		visited++
+		s.Remove(c) // removal during iteration is allowed
+	})
+	if visited != 2 || s.Len() != 0 {
+		t.Fatalf("visited=%d len=%d", visited, s.Len())
+	}
+}

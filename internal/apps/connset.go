@@ -1,0 +1,48 @@
+package apps
+
+import "f4t/internal/host"
+
+// connSet is an insertion-ordered set of connections. Apps track
+// connections with pending work in one; plain map iteration would make
+// runs non-deterministic.
+type connSet struct {
+	list []host.Conn
+	idx  map[host.Conn]int
+}
+
+func newConnSet() *connSet {
+	return &connSet{idx: make(map[host.Conn]int)}
+}
+
+func (s *connSet) Add(c host.Conn) {
+	if _, ok := s.idx[c]; ok {
+		return
+	}
+	s.idx[c] = len(s.list)
+	s.list = append(s.list, c)
+}
+
+func (s *connSet) Remove(c host.Conn) {
+	i, ok := s.idx[c]
+	if !ok {
+		return
+	}
+	last := len(s.list) - 1
+	s.list[i] = s.list[last]
+	s.idx[s.list[i]] = i
+	s.list = s.list[:last]
+	delete(s.idx, c)
+}
+
+func (s *connSet) Len() int { return len(s.list) }
+
+// Each visits every member in a stable order; the callback may Remove
+// members (including the current one).
+func (s *connSet) Each(fn func(c host.Conn)) {
+	snapshot := append([]host.Conn(nil), s.list...)
+	for _, c := range snapshot {
+		if _, ok := s.idx[c]; ok {
+			fn(c)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"f4t/internal/cpu"
+	"f4t/internal/host"
+	"f4t/internal/sim"
+)
+
+// HTTPServer is the Nginx stand-in of §5.2: per request it parses the
+// HTTP header (app work), fetches the HTML from the filesystem
+// (vfs_read — kernel bucket, the residual kernel time of Fig 11),
+// renders the response header (app work) and sends a fixed-size
+// response (256 B in the paper: header + HTML payload).
+type HTTPServer struct {
+	threads  []host.Thread
+	reqSize  int
+	respSize int
+	costs    cpu.Costs
+
+	ready   map[host.Conn]int // buffered request bytes per connection
+	queued  map[host.Conn]bool
+	pending []*sim.Queue[host.Conn] // per-thread round-robin service queues
+
+	// Requests counts responses sent (Fig 10's metric, server side).
+	Requests sim.Counter
+}
+
+// NewHTTPServer listens on port with every thread.
+func NewHTTPServer(threads []host.Thread, port uint16, reqSize, respSize int, costs cpu.Costs) *HTTPServer {
+	s := &HTTPServer{
+		threads:  threads,
+		reqSize:  reqSize,
+		respSize: respSize,
+		costs:    costs,
+		ready:    make(map[host.Conn]int),
+		queued:   make(map[host.Conn]bool),
+	}
+	for _, th := range threads {
+		th.Listen(port)
+		s.pending = append(s.pending, sim.NewQueue[host.Conn](0))
+	}
+	return s
+}
+
+func (s *HTTPServer) enqueue(i int, c host.Conn) {
+	if s.queued[c] {
+		return
+	}
+	s.queued[c] = true
+	s.pending[i].Push(c)
+}
+
+// Tick implements sim.Ticker: each thread serves as many buffered
+// requests as its core allows this cycle.
+func (s *HTTPServer) Tick(int64) {
+	for i, th := range s.threads {
+		pend := s.pending[i]
+		for _, ev := range th.Poll() {
+			switch ev.Kind {
+			case host.EvReadable:
+				s.enqueue(i, ev.Conn)
+			case host.EvHangup:
+				delete(s.ready, ev.Conn)
+				delete(s.queued, ev.Conn)
+			}
+		}
+		// Round-robin service: one request per connection per turn, so
+		// no connection starves behind a busy one (epoll fairness).
+		core := th.Core()
+		for core.Free() {
+			c, ok := pend.Pop()
+			if !ok {
+				break
+			}
+			if !s.queued[c] {
+				continue // hung up while queued
+			}
+			s.queued[c] = false
+			served := s.serveOne(th, c)
+			if c.Available()+s.ready[c] >= s.reqSize || (!served && s.ready[c] > 0) {
+				s.enqueue(i, c)
+			} else if s.ready[c] == 0 && c.Available() == 0 {
+				delete(s.ready, c)
+			}
+		}
+	}
+}
+
+// serveOne handles one complete request if present: socket read, HTTP
+// parse, file fetch, response render, socket write — each charged to its
+// CPU category.
+func (s *HTTPServer) serveOne(th host.Thread, c host.Conn) bool {
+	core := th.Core()
+	if s.ready[c] < s.reqSize {
+		got := c.RecvQueued(c.Available())
+		if got == 0 {
+			return false
+		}
+		s.ready[c] += got
+	}
+	if s.ready[c] < s.reqSize {
+		return false
+	}
+	s.ready[c] -= s.reqSize
+	core.RunQueued(cpu.CatApp, s.costs.AppParseRequest)
+	core.RunQueued(cpu.CatKernel, s.costs.VfsRead)
+	core.RunQueued(cpu.CatApp, s.costs.AppBuildResponse)
+	if c.SendQueued(s.respSize, nil) == 0 {
+		// Response buffer full: requeue the request for a later turn.
+		s.ready[c] += s.reqSize
+		return false
+	}
+	s.Requests.Inc()
+	return true
+}
+
+// Wrk is the HTTP load generator of §5.2: keepalive connections that
+// each send a fixed-size request, wait for the full response, record
+// the latency, and immediately issue the next request.
+type Wrk struct {
+	k        *sim.Kernel
+	threads  []host.Thread
+	d        *dialer
+	flows    [][]*wrkFlow
+	reqSize  int
+	respSize int
+	costs    cpu.Costs
+
+	// Responses counts completed request/response pairs.
+	Responses sim.Counter
+	// Latency records request→response times (Fig 12).
+	Latency sim.Histogram
+}
+
+type wrkFlow struct {
+	conn     host.Conn
+	awaiting bool
+	sentAt   int64
+	got      int
+}
+
+// NewWrk opens flowsPerThread keepalive connections per thread (paced).
+func NewWrk(k *sim.Kernel, threads []host.Thread, remoteIdx int, port uint16, reqSize, respSize, flowsPerThread int, costs cpu.Costs) *Wrk {
+	w := &Wrk{k: k, threads: threads, reqSize: reqSize, respSize: respSize, costs: costs, flows: make([][]*wrkFlow, len(threads))}
+	w.d = newDialer(threads, remoteIdx, port, flowsPerThread, func(i int, conn host.Conn) {
+		w.flows[i] = append(w.flows[i], &wrkFlow{conn: conn})
+	})
+	return w
+}
+
+// Ready reports whether every connection established.
+func (w *Wrk) Ready() bool { return w.d.allEstablished() }
+
+// Tick implements sim.Ticker.
+func (w *Wrk) Tick(int64) {
+	w.d.tick()
+	now := w.k.NowNS()
+	for i, th := range w.threads {
+		th.Poll()
+		core := th.Core()
+		for _, f := range w.flows[i] {
+			if !f.conn.Established() {
+				continue
+			}
+			if f.awaiting {
+				if f.conn.Available() > 0 && core.Free() {
+					f.got += f.conn.TryRecv(w.respSize - f.got)
+					if f.got >= w.respSize {
+						f.awaiting = false
+						f.got = 0
+						w.Responses.Inc()
+						w.Latency.Observe(now - f.sentAt)
+					}
+				}
+				continue
+			}
+			if !core.Free() {
+				break
+			}
+			core.Run(cpu.CatApp, w.costs.GenRequest)
+			if f.conn.SendQueued(w.reqSize, nil) > 0 {
+				f.awaiting = true
+				f.sentAt = now
+			}
+		}
+	}
+}

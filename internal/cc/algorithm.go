@@ -1,0 +1,90 @@
+// Package cc implements congestion-control algorithms as pluggable FPU
+// programs (§4.5). Each algorithm operates on the TCB's reserved CC words
+// using only integer arithmetic — mirroring the hardware, where CUBIC's
+// cube/cube-root and Vegas's divisions are what set the FPU pipeline
+// latency (§5.4: NewReno 14 cycles, CUBIC 41, Vegas 68).
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"f4t/internal/flow"
+)
+
+// Algorithm is one congestion-control program. Implementations mutate only
+// Cwnd, Ssthresh and the CCVars scratch words of the TCB, which is exactly
+// the surface the paper exposes to FPU programmers ("adding some entries
+// in the TCB", §5.4).
+type Algorithm interface {
+	// Name identifies the algorithm ("newreno", "cubic", "vegas").
+	Name() string
+
+	// PipelineLatency is the FPU pipeline depth, in cycles, this program
+	// synthesizes to. Longer programs do not reduce FPC throughput (§4.5);
+	// the value feeds the FPU latency model and Fig 15.
+	PipelineLatency() int
+
+	// Init sets the initial window state for a new connection.
+	Init(t *flow.TCB, mss uint32)
+
+	// OnAck is invoked when new data is cumulatively acknowledged.
+	// acked is the number of newly acknowledged bytes; rttNS is the RTT
+	// sample for this ack (0 when no sample was taken); nowNS is the
+	// current simulated time.
+	OnAck(t *flow.TCB, acked uint32, rttNS, nowNS int64, mss uint32)
+
+	// OnLoss is invoked on fast retransmit (entering loss recovery).
+	OnLoss(t *flow.TCB, nowNS int64, mss uint32)
+
+	// OnRecoveryExit is invoked when the recovery point is fully acked.
+	OnRecoveryExit(t *flow.TCB, mss uint32)
+
+	// OnTimeout is invoked on a retransmission timeout.
+	OnTimeout(t *flow.TCB, nowNS int64, mss uint32)
+}
+
+// InitialWindow is the RFC 6928 initial congestion window in segments.
+const InitialWindow = 10
+
+// MinSsthresh floors ssthresh at two segments (RFC 5681).
+func MinSsthresh(mss uint32) uint32 { return 2 * mss }
+
+var registry = map[string]func() Algorithm{}
+
+// Register adds an algorithm constructor under its name. It panics on
+// duplicates; registration happens from init functions.
+func Register(name string, ctor func() Algorithm) {
+	if _, dup := registry[name]; dup {
+		panic("cc: duplicate algorithm " + name)
+	}
+	registry[name] = ctor
+}
+
+// New returns a fresh instance of the named algorithm.
+func New(name string) (Algorithm, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("cc: unknown algorithm %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// MustNew is New for static configuration; it panics on unknown names.
+func MustNew(name string) Algorithm {
+	a, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the registered algorithms in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,226 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"f4t/internal/flow"
+)
+
+func TestCubeRootExact(t *testing.T) {
+	for _, v := range []uint64{0, 1, 8, 27, 1000, 1_000_000, 2_500_000_000} {
+		got := CubeRoot(v)
+		if got*got*got > v || (got+1)*(got+1)*(got+1) <= v {
+			t.Errorf("CubeRoot(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestCubeRootProperty(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		r := CubeRoot(v)
+		if r*r*r > v {
+			return false
+		}
+		next := r + 1
+		// Guard overflow of (r+1)^3 for huge v.
+		if next < 1<<21 {
+			return next*next*next > v
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCubeSaturates(t *testing.T) {
+	if Cube(1<<40) < 0 {
+		t.Fatal("cube overflowed to negative")
+	}
+	if Cube(-5) != -125 || Cube(5) != 125 {
+		t.Fatal("small cubes wrong")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"newreno": true, "cubic": true, "vegas": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing algorithms: %v (have %v)", want, names)
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestPipelineLatencies(t *testing.T) {
+	// The §5.4 data points.
+	for name, want := range map[string]int{"newreno": 14, "cubic": 41, "vegas": 68} {
+		if got := MustNew(name).PipelineLatency(); got != want {
+			t.Errorf("%s latency = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func newTCB(alg Algorithm) *flow.TCB {
+	t := &flow.TCB{State: flow.StateEstablished, SndUna: 1000, SndNxt: 1000}
+	alg.Init(t, 1460)
+	return t
+}
+
+func TestNewRenoSlowStartDoubles(t *testing.T) {
+	a := MustNew("newreno")
+	tcb := newTCB(a)
+	start := tcb.Cwnd
+	// One window of full-MSS ACKs roughly doubles cwnd in slow start.
+	acks := int(start / 1460)
+	for i := 0; i < acks; i++ {
+		a.OnAck(tcb, 1460, 1000000, int64(i)*1000000, 1460)
+	}
+	if tcb.Cwnd < 2*start-1460 {
+		t.Fatalf("slow start grew %d -> %d, want ~double", start, tcb.Cwnd)
+	}
+}
+
+func TestNewRenoCongestionAvoidanceLinear(t *testing.T) {
+	a := MustNew("newreno")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd // enter CA immediately
+	start := tcb.Cwnd
+	// One window of ACKs ≈ +1 MSS.
+	acks := int(start / 1460)
+	for i := 0; i < acks; i++ {
+		a.OnAck(tcb, 1460, 1000000, int64(i)*1000000, 1460)
+	}
+	grow := tcb.Cwnd - start
+	if grow < 1000 || grow > 2200 {
+		t.Fatalf("CA growth per RTT = %d bytes, want ~1 MSS", grow)
+	}
+}
+
+func TestNewRenoLossHalves(t *testing.T) {
+	a := MustNew("newreno")
+	tcb := newTCB(a)
+	tcb.Cwnd = 100 * 1460
+	tcb.SndNxt = tcb.SndUna.Add(100 * 1460) // full window in flight
+	a.OnLoss(tcb, 0, 1460)
+	if tcb.Ssthresh != 50*1460 {
+		t.Fatalf("ssthresh = %d, want half the flight", tcb.Ssthresh)
+	}
+	a.OnRecoveryExit(tcb, 1460)
+	if tcb.Cwnd != tcb.Ssthresh {
+		t.Fatalf("post-recovery cwnd = %d", tcb.Cwnd)
+	}
+}
+
+func TestNewRenoTimeoutCollapses(t *testing.T) {
+	a := MustNew("newreno")
+	tcb := newTCB(a)
+	tcb.Cwnd = 100 * 1460
+	a.OnTimeout(tcb, 0, 1460)
+	if tcb.Cwnd != 1460 {
+		t.Fatalf("post-RTO cwnd = %d, want 1 MSS", tcb.Cwnd)
+	}
+}
+
+func TestCubicConcaveThenConvex(t *testing.T) {
+	a := MustNew("cubic")
+	tcb := newTCB(a)
+	tcb.Cwnd = 200 * 1460
+	tcb.SndNxt = tcb.SndUna.Add(200 * 1460)
+	a.OnLoss(tcb, 0, 1460)
+	a.OnRecoveryExit(tcb, 1460)
+	below := tcb.Cwnd
+	if below >= 200*1460 {
+		t.Fatalf("loss did not reduce cwnd: %d", below)
+	}
+	// Feed ACKs over simulated time; the window must recover toward and
+	// then beyond the old maximum (concave then convex).
+	now := int64(0)
+	recoveredAt := int64(-1)
+	for i := 0; i < 200000; i++ {
+		now += 50_000 // 50 us between ack batches
+		a.OnAck(tcb, 1460, 1_000_000, now, 1460)
+		if recoveredAt < 0 && tcb.Cwnd >= 200*1460 {
+			recoveredAt = now
+		}
+	}
+	if recoveredAt < 0 {
+		t.Fatalf("cubic never recovered past wMax: cwnd=%d", tcb.Cwnd)
+	}
+	if tcb.Cwnd <= 200*1460 {
+		t.Fatalf("cubic did not enter convex growth: cwnd=%d", tcb.Cwnd)
+	}
+}
+
+func TestCubicBetaDecrease(t *testing.T) {
+	a := MustNew("cubic")
+	tcb := newTCB(a)
+	tcb.Cwnd = 1000 * 1460
+	tcb.SndNxt = tcb.SndUna.Add(1000 * 1460)
+	a.OnLoss(tcb, 0, 1460)
+	a.OnRecoveryExit(tcb, 1460)
+	ratio := float64(tcb.Cwnd) / float64(1000*1460)
+	if ratio < 0.65 || ratio > 0.75 {
+		t.Fatalf("cubic decrease factor = %.3f, want ~0.7", ratio)
+	}
+}
+
+func TestVegasHoldsNearBaseRTT(t *testing.T) {
+	a := MustNew("vegas")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd // out of slow start
+	// RTT == baseRTT: diff = 0 < alpha → grow.
+	tcb.SndUna, tcb.SndNxt = 1000, 1000
+	start := tcb.Cwnd
+	for i := 0; i < 50; i++ {
+		a.OnAck(tcb, 1460, 1_000_000, int64(i)*1_000_000, 1460)
+	}
+	if tcb.Cwnd <= start {
+		t.Fatalf("vegas did not grow at base RTT: %d -> %d", start, tcb.Cwnd)
+	}
+	// Now inflate RTT far above base: diff > beta → shrink.
+	grownTo := tcb.Cwnd
+	for i := 0; i < 50; i++ {
+		a.OnAck(tcb, 1460, 5_000_000, int64(100+i)*1_000_000, 1460)
+	}
+	if tcb.Cwnd >= grownTo {
+		t.Fatalf("vegas did not back off under queueing delay: %d -> %d", grownTo, tcb.Cwnd)
+	}
+}
+
+func TestAlgorithmsKeepCwndSane(t *testing.T) {
+	// Property: under arbitrary ack/loss/timeout sequences, cwnd stays
+	// within [1 MSS, 2^30] and ssthresh ≥ 2 MSS after the first loss.
+	for _, name := range Names() {
+		a := MustNew(name)
+		err := quick.Check(func(ops []byte) bool {
+			tcb := newTCB(a)
+			now := int64(0)
+			for _, op := range ops {
+				now += int64(op) * 1000
+				switch op % 4 {
+				case 0, 1:
+					a.OnAck(tcb, uint32(op)*16+1, int64(op)*10_000, now, 1460)
+				case 2:
+					tcb.SndNxt = tcb.SndUna.Add(10 * 1460)
+					a.OnLoss(tcb, now, 1460)
+					a.OnRecoveryExit(tcb, 1460)
+				case 3:
+					a.OnTimeout(tcb, now, 1460)
+				}
+				if tcb.Cwnd < 1460 || tcb.Cwnd > 1<<30 {
+					return false
+				}
+			}
+			return true
+		}, &quick.Config{MaxCount: 100})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package cc
+
+import "f4t/internal/flow"
+
+func init() { Register("dctcp", func() Algorithm { return DCTCP{} }) }
+
+// CCVars layout for DCTCP.
+const (
+	dcAlpha     = iota // EWMA of the marked fraction, fixed-point /1024
+	dcWindowEnd        // SndNxt captured at the window boundary
+	dcSawCE            // 1 when this observation window carried any ECE
+)
+
+// dctcpShiftG is g = 1/16 in the α EWMA (RFC 8257's recommended gain).
+const dctcpShiftG = 4
+
+// DCTCP implements Data Center TCP (RFC 8257) on top of the ECN
+// plumbing: the receiver echoes CE marks, the sender maintains
+// α ← (1−g)·α + g·F per window (F = fraction of ECE-covered bytes), and
+// reduces cwnd by α/2 on marked windows instead of halving — keeping
+// queues short without sacrificing throughput. Like the paper's other
+// FPU programs, its state is a handful of integer TCB words (§4.5); the
+// EWMA shift-and-add pipeline is a little deeper than NewReno's.
+//
+// Requires tcpproc.Config.ECN (and an ECN-marking switch) to see any
+// feedback; without marks it behaves like Reno.
+type DCTCP struct{}
+
+// Name implements Algorithm.
+func (DCTCP) Name() string { return "dctcp" }
+
+// PipelineLatency implements Algorithm.
+func (DCTCP) PipelineLatency() int { return 29 }
+
+// Init implements Algorithm.
+func (DCTCP) Init(t *flow.TCB, mss uint32) {
+	t.Cwnd = InitialWindow * mss
+	t.Ssthresh = 0x7FFFFFFF
+	for i := range t.CCVars {
+		t.CCVars[i] = 0
+	}
+	t.EceBytes, t.AckedBytes = 0, 0
+}
+
+// OnAck implements Algorithm: Reno-style growth, with the per-window α
+// update and proportional decrease when marks arrived (RFC 8257 §4.2).
+func (DCTCP) OnAck(t *flow.TCB, acked uint32, _, _ int64, mss uint32) {
+	if t.InRecovery {
+		return
+	}
+	if t.EceBytes > 0 {
+		t.CCVars[dcSawCE] = 1
+	}
+
+	// Window boundary: one cwnd of data acknowledged since the marker.
+	if uint32(t.SndUna) >= uint32(t.CCVars[dcWindowEnd]) {
+		t.CCVars[dcWindowEnd] = uint64(uint32(t.SndNxt))
+
+		if t.AckedBytes > 0 {
+			// F in fixed-point /1024, then α ← α − α/16 + F/16.
+			f := t.EceBytes * 1024 / t.AckedBytes
+			alpha := t.CCVars[dcAlpha]
+			alpha = alpha - alpha>>dctcpShiftG + f>>dctcpShiftG
+			if alpha > 1024 {
+				alpha = 1024
+			}
+			t.CCVars[dcAlpha] = alpha
+		}
+		t.EceBytes, t.AckedBytes = 0, 0
+
+		if t.CCVars[dcSawCE] != 0 {
+			// Proportional decrease: cwnd ← cwnd·(1 − α/2).
+			t.CCVars[dcSawCE] = 0
+			cut := uint64(t.Cwnd) * t.CCVars[dcAlpha] / 2048
+			newCwnd := uint32(uint64(t.Cwnd) - cut)
+			if newCwnd < 2*mss {
+				newCwnd = 2 * mss
+			}
+			t.Cwnd = newCwnd
+			t.Ssthresh = newCwnd
+			return
+		}
+	}
+
+	// Unmarked path: standard slow start / congestion avoidance.
+	if t.Cwnd < t.Ssthresh {
+		inc := acked
+		if inc > mss {
+			inc = mss
+		}
+		t.Cwnd += inc
+		return
+	}
+	inc := mss * mss / t.Cwnd
+	if inc == 0 {
+		inc = 1
+	}
+	t.Cwnd += inc
+}
+
+// OnLoss implements Algorithm: actual packet loss still halves, as in
+// RFC 8257 (DCTCP's gentler cut applies only to ECN marks).
+func (DCTCP) OnLoss(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = ss + 3*mss
+}
+
+// OnRecoveryExit implements Algorithm.
+func (DCTCP) OnRecoveryExit(t *flow.TCB, mss uint32) {
+	t.Cwnd = t.Ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (DCTCP) OnTimeout(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = mss
+}

@@ -1,0 +1,104 @@
+package cc
+
+import (
+	"testing"
+
+	"f4t/internal/flow"
+)
+
+func TestDCTCPRegistered(t *testing.T) {
+	a := MustNew("dctcp")
+	if a.Name() != "dctcp" || a.PipelineLatency() != 29 {
+		t.Fatalf("dctcp identity: %s/%d", a.Name(), a.PipelineLatency())
+	}
+}
+
+// ackWindow feeds one full window of ACKs with the given fraction of
+// ECE-covered bytes and crosses the window boundary.
+func ackWindow(a Algorithm, tcb *fakeTCBCtx, markedFrac float64) {
+	t := tcb.t
+	winBytes := uint64(t.Cwnd)
+	t.AckedBytes += winBytes
+	t.EceBytes += uint64(float64(winBytes) * markedFrac)
+	// Advance the stream across the recorded window boundary.
+	t.SndUna = t.SndUna.Add(65000)
+	t.SndNxt = t.SndUna.Add(10000)
+	a.OnAck(t, 1460, 1_000_000, tcb.now, 1460)
+	tcb.now += 1_000_000
+}
+
+type fakeTCBCtx struct {
+	t   *flow.TCB
+	now int64
+}
+
+func TestDCTCPAlphaTracksMarkRate(t *testing.T) {
+	a := MustNew("dctcp")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd // out of slow start
+	ctx := &fakeTCBCtx{t: tcb, now: 1}
+
+	// Sustained full marking drives α toward 1 (1024 fixed-point).
+	for i := 0; i < 100; i++ {
+		ackWindow(a, ctx, 1.0)
+	}
+	if alpha := tcb.CCVars[0]; alpha < 900 {
+		t.Fatalf("alpha after sustained marking = %d/1024, want near 1024", alpha)
+	}
+	// A long unmarked run decays α toward 0.
+	for i := 0; i < 100; i++ {
+		ackWindow(a, ctx, 0)
+	}
+	if alpha := tcb.CCVars[0]; alpha > 100 {
+		t.Fatalf("alpha after unmarked run = %d/1024, want near 0", alpha)
+	}
+}
+
+func TestDCTCPProportionalDecrease(t *testing.T) {
+	a := MustNew("dctcp")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd
+	tcb.Cwnd = 200 * 1460
+	ctx := &fakeTCBCtx{t: tcb, now: 1}
+
+	// Light marking (≈6%) must cut far less than a Reno halving: with
+	// α ≈ 0.06 the per-window cut is ~3 %.
+	for i := 0; i < 30; i++ {
+		ackWindow(a, ctx, 0.0625)
+	}
+	// After settling, one more marked window: measure the cut.
+	before := tcb.Cwnd
+	ackWindow(a, ctx, 0.0625)
+	after := tcb.Cwnd
+	cut := float64(before-after) / float64(before)
+	if cut <= 0 || cut > 0.10 {
+		t.Fatalf("DCTCP cut = %.3f of cwnd, want small proportional (~0.03), not a halving", cut)
+	}
+}
+
+func TestDCTCPUnmarkedBehavesLikeReno(t *testing.T) {
+	a := MustNew("dctcp")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd
+	start := tcb.Cwnd
+	// One window of unmarked ACKs in congestion avoidance ≈ +1 MSS.
+	acks := int(start / 1460)
+	for i := 0; i < acks; i++ {
+		a.OnAck(tcb, 1460, 1_000_000, int64(i)*1_000_000, 1460)
+	}
+	grow := tcb.Cwnd - start
+	if grow < 1000 || grow > 2500 {
+		t.Fatalf("unmarked growth = %d bytes/RTT, want ~1 MSS", grow)
+	}
+}
+
+func TestDCTCPLossStillHalves(t *testing.T) {
+	a := MustNew("dctcp")
+	tcb := newTCB(a)
+	tcb.Cwnd = 100 * 1460
+	tcb.SndNxt = tcb.SndUna.Add(100 * 1460)
+	a.OnLoss(tcb, 0, 1460)
+	if tcb.Ssthresh != 50*1460 {
+		t.Fatalf("loss ssthresh = %d, want half the flight (RFC 8257 keeps loss semantics)", tcb.Ssthresh)
+	}
+}

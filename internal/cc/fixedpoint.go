@@ -1,0 +1,39 @@
+package cc
+
+// CubeRoot returns the integer cube root of a (floor(a^(1/3))) using a
+// bit-by-bit method with no floating point — the same style of circuit a
+// hardware FPU program would instantiate for CUBIC's cube-root operation
+// (§4.5: "cube and cubic root operations").
+func CubeRoot(a uint64) uint64 {
+	var x uint64
+	// Highest power of 8 (2^3) not exceeding a: start the digit scan there.
+	s := uint(63)
+	s -= s % 3
+	for b := uint64(1) << s; b != 0; b >>= 3 {
+		x <<= 1
+		y := (3*x*(x+1) + 1) * b
+		if a >= y {
+			a -= y
+			x++
+		}
+	}
+	return x
+}
+
+// Cube returns v^3, saturating at the top of int64 range to avoid
+// overflow surprises in window arithmetic.
+func Cube(v int64) int64 {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	const lim = 2097151 // floor(cbrt(2^63 - 1))
+	if v > lim {
+		v = lim
+	}
+	c := v * v * v
+	if neg {
+		return -c
+	}
+	return c
+}

@@ -1,0 +1,74 @@
+package cc
+
+import "f4t/internal/flow"
+
+func init() { Register("newreno", func() Algorithm { return NewReno{} }) }
+
+// NewReno implements RFC 5681 slow start / congestion avoidance with the
+// RFC 6582 NewReno fast-recovery window adjustments. It is stateless
+// beyond Cwnd/Ssthresh, which is why it synthesizes to the shortest FPU
+// pipeline (14 cycles, §5.4).
+type NewReno struct{}
+
+// Name implements Algorithm.
+func (NewReno) Name() string { return "newreno" }
+
+// PipelineLatency implements Algorithm.
+func (NewReno) PipelineLatency() int { return 14 }
+
+// Init implements Algorithm.
+func (NewReno) Init(t *flow.TCB, mss uint32) {
+	t.Cwnd = InitialWindow * mss
+	t.Ssthresh = 0x7FFFFFFF // effectively unbounded until the first loss
+}
+
+// OnAck implements Algorithm: slow start grows cwnd by one MSS per
+// ACKed MSS; congestion avoidance grows ~one MSS per RTT.
+func (NewReno) OnAck(t *flow.TCB, acked uint32, _, _ int64, mss uint32) {
+	if t.InRecovery {
+		// Window inflation/deflation during recovery is handled by the
+		// protocol engine; cwnd growth pauses.
+		return
+	}
+	if t.Cwnd < t.Ssthresh {
+		// Slow start: cwnd += min(acked, MSS) per ACK (RFC 5681 §3.1).
+		inc := acked
+		if inc > mss {
+			inc = mss
+		}
+		t.Cwnd += inc
+		return
+	}
+	// Congestion avoidance: cwnd += MSS*MSS/cwnd per ACK.
+	inc := mss * mss / t.Cwnd
+	if inc == 0 {
+		inc = 1
+	}
+	t.Cwnd += inc
+}
+
+// OnLoss implements Algorithm: halve the window and inflate by the three
+// duplicate ACKs that triggered fast retransmit.
+func (NewReno) OnLoss(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = ss + 3*mss
+}
+
+// OnRecoveryExit implements Algorithm: deflate to ssthresh.
+func (NewReno) OnRecoveryExit(t *flow.TCB, mss uint32) {
+	t.Cwnd = t.Ssthresh
+}
+
+// OnTimeout implements Algorithm: collapse to one segment (RFC 5681 §3.1).
+func (NewReno) OnTimeout(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = mss
+}

@@ -1,0 +1,89 @@
+package cc
+
+import "f4t/internal/flow"
+
+func init() { Register("scalable", func() Algorithm { return Scalable{} }) }
+
+// Scalable implements Scalable TCP (Kelly 2003): multiplicative increase
+// of 0.01 per ACK above a threshold window and a gentle 1/8
+// multiplicative decrease on loss. It exists here as the reproduction's
+// demonstration of §4.5's programmability claim — adding a new FPU
+// program is exactly this file: a handful of integer operations over the
+// TCB, registered under a name, with its synthesized pipeline depth.
+type Scalable struct{}
+
+// scalableLowWindow is the window (in segments) below which the
+// algorithm behaves like standard slow start / congestion avoidance.
+const scalableLowWindow = 16
+
+// Name implements Algorithm.
+func (Scalable) Name() string { return "scalable" }
+
+// PipelineLatency implements Algorithm: a multiply and two shifts — a
+// shallow pipeline between NewReno's and CUBIC's.
+func (Scalable) PipelineLatency() int { return 22 }
+
+// Init implements Algorithm.
+func (Scalable) Init(t *flow.TCB, mss uint32) {
+	t.Cwnd = InitialWindow * mss
+	t.Ssthresh = 0x7FFFFFFF
+}
+
+// OnAck implements Algorithm: cwnd += 0.01·cwnd per window of ACKs above
+// the low-window threshold (computed as cwnd>>7 ≈ 0.0078 per ACKed MSS,
+// the usual integer approximation).
+func (Scalable) OnAck(t *flow.TCB, acked uint32, _, _ int64, mss uint32) {
+	if t.InRecovery {
+		return
+	}
+	if t.Cwnd < t.Ssthresh {
+		inc := acked
+		if inc > mss {
+			inc = mss
+		}
+		t.Cwnd += inc
+		return
+	}
+	if t.Cwnd < scalableLowWindow*mss {
+		// Below the threshold: Reno-style additive increase.
+		inc := mss * mss / t.Cwnd
+		if inc == 0 {
+			inc = 1
+		}
+		t.Cwnd += inc
+		return
+	}
+	inc := t.Cwnd >> 7
+	if inc == 0 {
+		inc = 1
+	}
+	if inc > mss {
+		inc = mss
+	}
+	t.Cwnd += inc
+}
+
+// OnLoss implements Algorithm: w ← w − w/8 (β = 1/8).
+func (Scalable) OnLoss(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.Cwnd - t.Cwnd/8
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = ss + 3*mss
+}
+
+// OnRecoveryExit implements Algorithm.
+func (Scalable) OnRecoveryExit(t *flow.TCB, mss uint32) {
+	t.Cwnd = t.Ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (Scalable) OnTimeout(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.Cwnd - t.Cwnd/8
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = mss
+}

@@ -1,0 +1,41 @@
+package cc
+
+import "testing"
+
+func TestScalableRegistered(t *testing.T) {
+	a := MustNew("scalable")
+	if a.Name() != "scalable" || a.PipelineLatency() != 22 {
+		t.Fatalf("scalable identity: %s/%d", a.Name(), a.PipelineLatency())
+	}
+}
+
+func TestScalableMIMDGrowth(t *testing.T) {
+	a := MustNew("scalable")
+	tcb := newTCB(a)
+	tcb.Ssthresh = tcb.Cwnd // exit slow start
+	tcb.Cwnd = 100 * 1460   // well above the low-window threshold
+	start := tcb.Cwnd
+	// One window of ACKs: MIMD grows proportionally to the window
+	// (≈0.78 % per ACKed MSS ⇒ ~+80 % per window), far beyond Reno's
+	// one-MSS-per-RTT.
+	for i := 0; i < 100; i++ {
+		a.OnAck(tcb, 1460, 1_000_000, int64(i)*10_000, 1460)
+	}
+	growth := float64(tcb.Cwnd) / float64(start)
+	if growth < 1.5 {
+		t.Fatalf("MIMD growth per window = %.2fx, want >1.5x", growth)
+	}
+}
+
+func TestScalableGentleDecrease(t *testing.T) {
+	a := MustNew("scalable")
+	tcb := newTCB(a)
+	tcb.Cwnd = 800 * 1460
+	tcb.SndNxt = tcb.SndUna.Add(800 * 1460)
+	a.OnLoss(tcb, 0, 1460)
+	a.OnRecoveryExit(tcb, 1460)
+	ratio := float64(tcb.Cwnd) / float64(800*1460)
+	if ratio < 0.85 || ratio > 0.90 {
+		t.Fatalf("scalable decrease = %.3f, want 7/8", ratio)
+	}
+}

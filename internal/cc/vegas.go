@@ -1,0 +1,141 @@
+package cc
+
+import "f4t/internal/flow"
+
+func init() { Register("vegas", func() Algorithm { return Vegas{} }) }
+
+// CCVars layout for Vegas.
+const (
+	vgBaseRTT = iota // minimum RTT ever observed (ns)
+	vgMinRTT         // minimum RTT in the current epoch (ns)
+	vgCntRTT         // RTT samples in the current epoch
+	vgBegSeq         // epoch boundary: SndNxt at epoch start (one epoch ~ one RTT)
+	vgEnabled        // becomes 1 after the first RTT sample
+)
+
+// Vegas thresholds in segments (Brakmo & Peterson 1995): grow below alpha,
+// hold between, shrink above beta; gamma bounds slow start.
+const (
+	vegasAlpha = 2
+	vegasBeta  = 4
+	vegasGamma = 1
+)
+
+// Vegas implements TCP Vegas delay-based congestion avoidance. The
+// expected/actual throughput comparison requires integer divisions each
+// window, which is why its FPU program is the deepest pipeline the paper
+// reports (68 cycles, §5.4).
+type Vegas struct{}
+
+// Name implements Algorithm.
+func (Vegas) Name() string { return "vegas" }
+
+// PipelineLatency implements Algorithm.
+func (Vegas) PipelineLatency() int { return 68 }
+
+// Init implements Algorithm.
+func (Vegas) Init(t *flow.TCB, mss uint32) {
+	t.Cwnd = InitialWindow * mss
+	t.Ssthresh = 0x7FFFFFFF
+	for i := range t.CCVars {
+		t.CCVars[i] = 0
+	}
+}
+
+// OnAck implements Algorithm: once per RTT, compare expected and actual
+// rates and adjust the window by at most one segment.
+func (Vegas) OnAck(t *flow.TCB, acked uint32, rttNS, nowNS int64, mss uint32) {
+	if t.InRecovery {
+		return
+	}
+	if rttNS > 0 {
+		if t.CCVars[vgBaseRTT] == 0 || uint64(rttNS) < t.CCVars[vgBaseRTT] {
+			t.CCVars[vgBaseRTT] = uint64(rttNS)
+		}
+		if t.CCVars[vgMinRTT] == 0 || uint64(rttNS) < t.CCVars[vgMinRTT] {
+			t.CCVars[vgMinRTT] = uint64(rttNS)
+		}
+		t.CCVars[vgCntRTT]++
+		t.CCVars[vgEnabled] = 1
+	}
+
+	// Epoch boundary: the ack has crossed the SndNxt recorded at the last
+	// adjustment, i.e. one window's worth of data has been acknowledged.
+	if uint32(t.SndUna) < uint32(t.CCVars[vgBegSeq]) {
+		return
+	}
+	t.CCVars[vgBegSeq] = uint64(uint32(t.SndNxt))
+
+	if t.CCVars[vgEnabled] == 0 || t.CCVars[vgCntRTT] == 0 {
+		// No samples yet: fall back to slow-start growth.
+		if t.Cwnd < t.Ssthresh {
+			t.Cwnd += mss
+		}
+		return
+	}
+
+	baseRTT := int64(t.CCVars[vgBaseRTT])
+	minRTT := int64(t.CCVars[vgMinRTT])
+	if minRTT < baseRTT {
+		minRTT = baseRTT
+	}
+	cwndSeg := int64(t.Cwnd / mss)
+	if cwndSeg < 2 {
+		cwndSeg = 2
+	}
+	// diff = cwnd * (rtt - baseRTT) / rtt, in segments — the integer
+	// divisions that give Vegas its 68-cycle pipeline.
+	diff := cwndSeg * (minRTT - baseRTT) / minRTT
+
+	if t.Cwnd < t.Ssthresh {
+		// Slow start, gated by gamma.
+		if diff > vegasGamma {
+			t.Ssthresh = t.Cwnd
+			if t.Cwnd > uint32(diff)*mss {
+				t.Cwnd -= uint32(diff) * mss
+			}
+			if t.Cwnd < 2*mss {
+				t.Cwnd = 2 * mss
+			}
+		} else {
+			t.Cwnd += mss
+		}
+	} else {
+		switch {
+		case diff < vegasAlpha:
+			t.Cwnd += mss
+		case diff > vegasBeta:
+			if t.Cwnd > 3*mss {
+				t.Cwnd -= mss
+			}
+		}
+	}
+	t.CCVars[vgMinRTT] = 0
+	t.CCVars[vgCntRTT] = 0
+}
+
+// OnLoss implements Algorithm: Vegas falls back to Reno-style halving on
+// packet loss.
+func (Vegas) OnLoss(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = ss + 3*mss
+}
+
+// OnRecoveryExit implements Algorithm.
+func (Vegas) OnRecoveryExit(t *flow.TCB, mss uint32) {
+	t.Cwnd = t.Ssthresh
+}
+
+// OnTimeout implements Algorithm.
+func (Vegas) OnTimeout(t *flow.TCB, _ int64, mss uint32) {
+	ss := t.InFlight() / 2
+	if ss < MinSsthresh(mss) {
+		ss = MinSsthresh(mss)
+	}
+	t.Ssthresh = ss
+	t.Cwnd = mss
+}

@@ -1,0 +1,106 @@
+// Package core assembles complete F4T systems: an FtEngine device, its
+// host machine (CPU cores running the F4T library), and the network
+// attachment — the deployable unit a user of the framework instantiates.
+// It also provides the two-node testbed used by the examples and the
+// evaluation.
+package core
+
+import (
+	"f4t/internal/cpu"
+	"f4t/internal/engine"
+	"f4t/internal/host"
+	"f4t/internal/netsim"
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// HostConfig describes one F4T host.
+type HostConfig struct {
+	IP    wire.Addr
+	MAC   wire.MAC
+	Cores int // CPU cores = application threads = command queue pairs
+
+	// Engine carries the hardware design point; zero value = the
+	// reference 8-FPC design. IP/MAC/Channels are filled from this
+	// struct.
+	Engine engine.Config
+	Costs  cpu.Costs
+}
+
+// System is one F4T host: FtEngine + host machine.
+type System struct {
+	K       *sim.Kernel
+	Engine  *engine.Engine
+	Machine *host.F4TMachine
+}
+
+// NewSystem builds a host on the given kernel. tx attaches the wire;
+// remotes maps Thread.Dial's remoteIdx to peer addresses.
+func NewSystem(k *sim.Kernel, cfg HostConfig, remotes []wire.Addr, tx func(*wire.Packet)) *System {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Engine.NumFPCs == 0 {
+		cfg.Engine = engine.DefaultConfig()
+	}
+	if cfg.Costs.Syscall == 0 {
+		cfg.Costs = cpu.DefaultCosts()
+	}
+	ec := cfg.Engine
+	ec.IP = cfg.IP
+	ec.MAC = cfg.MAC
+	ec.Channels = cfg.Cores
+
+	eng := engine.New(k, ec, tx)
+	mach := host.NewF4TMachine(k, eng, cfg.Cores, cfg.Costs, remotes)
+	k.Register(sim.TickerFunc(eng.Tick))
+	k.Register(sim.TickerFunc(mach.Tick))
+	return &System{K: k, Engine: eng, Machine: mach}
+}
+
+// Threads returns the application threads (one per core).
+func (s *System) Threads() []host.Thread { return s.Machine.Threads() }
+
+// Testbed is two F4T hosts direct-connected by one link — the
+// evaluation setup of §5.
+type Testbed struct {
+	K    *sim.Kernel
+	Link *netsim.Link
+	A, B *System
+}
+
+// NewTestbed builds the two-node testbed with the given engine
+// configuration applied to both sides. linkGbps ≤ 0 defaults to 100.
+func NewTestbed(cfgA, cfgB HostConfig, linkGbps int64) *Testbed {
+	if linkGbps <= 0 {
+		linkGbps = 100
+	}
+	k := sim.New()
+	link := netsim.NewLink(k, linkGbps, 600, 424242)
+
+	a := NewSystem(k, cfgA, []wire.Addr{cfgB.IP}, link.AtoB.Send)
+	b := NewSystem(k, cfgB, []wire.Addr{cfgA.IP}, link.BtoA.Send)
+	link.AtoB.SetSink(b.Engine.DeliverPacket)
+	link.BtoA.SetSink(a.Engine.DeliverPacket)
+	a.Engine.LearnPeer(cfgB.IP, cfgB.MAC)
+	b.Engine.LearnPeer(cfgA.IP, cfgA.MAC)
+	return &Testbed{K: k, Link: link, A: a, B: b}
+}
+
+// DefaultHostA returns a ready-to-use host configuration for node A.
+func DefaultHostA(cores int) HostConfig {
+	return HostConfig{
+		IP:    wire.MakeAddr(10, 0, 0, 1),
+		MAC:   wire.MAC{2, 0, 0, 0, 0, 1},
+		Cores: cores,
+	}
+}
+
+// DefaultHostB returns a ready-to-use host configuration for node B.
+func DefaultHostB(cores int) HostConfig {
+	return HostConfig{
+		IP:    wire.MakeAddr(10, 0, 0, 2),
+		MAC:   wire.MAC{2, 0, 0, 0, 0, 2},
+		Cores: cores,
+	}
+}

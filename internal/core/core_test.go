@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"f4t/internal/host"
+)
+
+func TestTestbedDefaults(t *testing.T) {
+	tb := NewTestbed(DefaultHostA(2), DefaultHostB(3), 0)
+	if len(tb.A.Threads()) != 2 || len(tb.B.Threads()) != 3 {
+		t.Fatalf("thread counts: %d/%d", len(tb.A.Threads()), len(tb.B.Threads()))
+	}
+	if tb.A.Engine == nil || tb.B.Engine == nil {
+		t.Fatal("engines missing")
+	}
+	// Cores == channels: per-thread queue pairs (§4.6).
+	if len(tb.A.Engine.Channels) != 2 {
+		t.Fatalf("channels = %d, want 2", len(tb.A.Engine.Channels))
+	}
+}
+
+func TestTestbedTransfer(t *testing.T) {
+	tb := NewTestbed(DefaultHostA(1), DefaultHostB(1), 100)
+	tb.B.Threads()[0].Listen(80)
+	conn := tb.A.Threads()[0].Dial(0, 80)
+	if !tb.K.RunUntil(conn.Established, 2_000_000) {
+		t.Fatal("handshake timed out")
+	}
+	// The core may be momentarily busy draining completions; retry the
+	// send like a non-blocking loop would.
+	const want = 4096
+	sent, got := 0, 0
+	var srvConn host.Conn
+	ok := tb.K.RunUntil(func() bool {
+		tb.A.Threads()[0].Poll()
+		if sent < want {
+			sent += conn.TrySend(want-sent, nil)
+		}
+		for _, ev := range tb.B.Threads()[0].Poll() {
+			if srvConn == nil && (ev.Kind == host.EvAccepted || ev.Kind == host.EvReadable) {
+				srvConn = ev.Conn
+			}
+		}
+		if srvConn != nil {
+			// Retry each cycle: a single readiness event may race a busy
+			// core, so recv until drained (non-blocking loop semantics).
+			got += srvConn.TryRecv(1 << 16)
+		}
+		return got >= want
+	}, 5_000_000)
+	if !ok {
+		t.Fatalf("sent %d, delivered %d/%d, engA flows=%d engB flows=%d", sent, got, want, tb.A.Engine.FlowCount(), tb.B.Engine.FlowCount())
+	}
+}
+
+func TestSystemZeroValueDefaults(t *testing.T) {
+	// A HostConfig with no engine/cost settings must come up with the
+	// reference design.
+	tb := NewTestbed(HostConfig{
+		IP: DefaultHostA(1).IP, MAC: DefaultHostA(1).MAC,
+	}, DefaultHostB(1), 0)
+	if len(tb.A.Engine.FPCs()) != 8 {
+		t.Fatalf("default FPC count = %d", len(tb.A.Engine.FPCs()))
+	}
+	if len(tb.A.Threads()) != 1 {
+		t.Fatalf("default cores = %d", len(tb.A.Threads()))
+	}
+}

@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"testing"
+
+	"f4t/internal/sim"
+)
+
+func TestCoreSerializesWork(t *testing.T) {
+	k := sim.New()
+	c := NewCore(k)
+	if !c.Run(CatApp, 2300) { // 2300 CPU cycles = 1 us = 250 sim cycles
+		t.Fatal("idle core refused work")
+	}
+	if c.Run(CatApp, 100) {
+		t.Fatal("busy core accepted work")
+	}
+	k.Run(249)
+	if c.Free() {
+		t.Fatal("core free too early")
+	}
+	k.Run(2)
+	if !c.Free() {
+		t.Fatal("core still busy after the work duration")
+	}
+}
+
+func TestRunQueuedExtends(t *testing.T) {
+	k := sim.New()
+	c := NewCore(k)
+	c.Run(CatApp, 2300)
+	first := c.BusyUntil()
+	done := c.RunQueued(CatTCP, 2300)
+	if done <= first {
+		t.Fatal("queued work did not extend the busy period")
+	}
+	if c.Spent(CatApp) != 2300 || c.Spent(CatTCP) != 2300 {
+		t.Fatalf("accounting: app=%d tcp=%d", c.Spent(CatApp), c.Spent(CatTCP))
+	}
+}
+
+func TestBreakdownSumsToOne(t *testing.T) {
+	k := sim.New()
+	c := NewCore(k)
+	// Half the time busy on app work.
+	for i := 0; i < 10; i++ {
+		c.RunQueued(CatApp, 2300) // 1 us each
+	}
+	k.Run(5000) // 20 us elapsed, 10 us busy
+	b := c.Breakdown()
+	var sum float64
+	for _, v := range b {
+		sum += v
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("breakdown sums to %.3f: %v", sum, b)
+	}
+	if b["app"] < 0.45 || b["app"] > 0.55 {
+		t.Fatalf("app share = %.2f, want ~0.5", b["app"])
+	}
+	if b["idle"] < 0.45 || b["idle"] > 0.55 {
+		t.Fatalf("idle share = %.2f, want ~0.5", b["idle"])
+	}
+}
+
+func TestResetAccounting(t *testing.T) {
+	k := sim.New()
+	c := NewCore(k)
+	c.RunQueued(CatTCP, 9999)
+	c.ResetAccounting()
+	if c.Spent(CatTCP) != 0 {
+		t.Fatal("reset did not clear accounting")
+	}
+}
+
+func TestCostAnchorsFromPaper(t *testing.T) {
+	costs := DefaultCosts()
+	// Fig 8a anchor: Linux bulk send ≈ 2.3k cycles ⇒ ~1 Mrps/core.
+	bulk := costs.Syscall + costs.LinuxSendTCPCost(128, true, false)
+	rps := float64(CoreHz) / float64(bulk)
+	if rps < 0.8e6 || rps > 1.3e6 {
+		t.Errorf("Linux bulk send rate/core = %.2f Mrps, paper anchor ~1", rps/1e6)
+	}
+	// Fig 8b anchor: cold small send ≈ 15-20k cycles ⇒ ~0.12-0.16 Mrps/core.
+	small := costs.Syscall + costs.FlowSwitch/2 + costs.LinuxSendTCPCost(128, false, true)
+	rps = float64(CoreHz) / float64(small)
+	if rps < 0.1e6 || rps > 0.25e6 {
+		t.Errorf("Linux cold send rate/core = %.2f Mrps, paper anchor ~0.12", rps/1e6)
+	}
+	// Fig 8a anchor: F4T library send ≈ 50 cycles ⇒ ~45 Mrps/core.
+	f4t := costs.F4TSendCost()
+	rps = float64(CoreHz) / float64(f4t)
+	if rps < 35e6 || rps > 55e6 {
+		t.Errorf("F4T send rate/core = %.1f Mrps, paper anchor ~44", rps/1e6)
+	}
+}
+
+func TestCyclesToNS(t *testing.T) {
+	if CyclesToNS(2300) != 1000 {
+		t.Fatalf("2300 cycles at 2.3 GHz = %d ns, want 1000", CyclesToNS(2300))
+	}
+	if CyclesToNS(1) != 1 {
+		t.Fatal("sub-ns work must round up to 1 ns")
+	}
+}
+
+func TestPoolAggregation(t *testing.T) {
+	k := sim.New()
+	p := NewPool(k, 4)
+	for _, c := range p.Cores {
+		c.RunQueued(CatTCP, 1000)
+	}
+	if p.SpentTotal(CatTCP) != 4000 {
+		t.Fatalf("pool total = %d", p.SpentTotal(CatTCP))
+	}
+	p.ResetAccounting()
+	if p.SpentTotal(CatTCP) != 0 {
+		t.Fatal("pool reset failed")
+	}
+}

@@ -1,0 +1,72 @@
+package datapath
+
+import "f4t/internal/wire"
+
+// ARP implements the address-resolution logic FtEngine carries for MAC
+// resolution (§4.1.2): a cache, reply generation for requests naming our
+// address, and request generation for unresolved destinations.
+type ARP struct {
+	localIP  wire.Addr
+	localMAC wire.MAC
+	cache    map[wire.Addr]wire.MAC
+	pending  map[wire.Addr]bool
+}
+
+// NewARP returns an ARP handler for the given local identity.
+func NewARP(ip wire.Addr, mac wire.MAC) *ARP {
+	return &ARP{
+		localIP:  ip,
+		localMAC: mac,
+		cache:    make(map[wire.Addr]wire.MAC),
+		pending:  make(map[wire.Addr]bool),
+	}
+}
+
+// Learn installs a static or observed mapping.
+func (a *ARP) Learn(ip wire.Addr, mac wire.MAC) {
+	a.cache[ip] = mac
+	delete(a.pending, ip)
+}
+
+// Resolve returns the MAC for ip. When unresolved it returns a request
+// packet to transmit (at most one outstanding per address) and ok=false.
+func (a *ARP) Resolve(ip wire.Addr) (mac wire.MAC, request *wire.Packet, ok bool) {
+	if m, hit := a.cache[ip]; hit {
+		return m, nil, true
+	}
+	if a.pending[ip] {
+		return wire.MAC{}, nil, false
+	}
+	a.pending[ip] = true
+	return wire.MAC{}, &wire.Packet{
+		Kind: wire.KindARP,
+		Eth:  wire.EthHeader{Src: a.localMAC, Dst: wire.BroadcastMAC, Type: wire.EtherTypeARP},
+		ARP: wire.ARPPacket{
+			Op:        wire.ARPRequest,
+			SenderMAC: a.localMAC,
+			SenderIP:  a.localIP,
+			TargetIP:  ip,
+		},
+	}, false
+}
+
+// Handle processes a received ARP packet, learning the sender's mapping
+// and returning a reply packet when the request targets our address.
+func (a *ARP) Handle(pkt *wire.Packet) *wire.Packet {
+	p := &pkt.ARP
+	a.Learn(p.SenderIP, p.SenderMAC)
+	if p.Op == wire.ARPRequest && p.TargetIP == a.localIP {
+		return &wire.Packet{
+			Kind: wire.KindARP,
+			Eth:  wire.EthHeader{Src: a.localMAC, Dst: p.SenderMAC, Type: wire.EtherTypeARP},
+			ARP: wire.ARPPacket{
+				Op:        wire.ARPReply,
+				SenderMAC: a.localMAC,
+				SenderIP:  a.localIP,
+				TargetMAC: p.SenderMAC,
+				TargetIP:  p.SenderIP,
+			},
+		}
+	}
+	return nil
+}

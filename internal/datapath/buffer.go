@@ -1,0 +1,59 @@
+package datapath
+
+import "f4t/internal/seqnum"
+
+// Ring is a sequence-indexed byte ring: the model of one flow's TCP data
+// buffer in host hugepages (§4.1.1). Bytes are addressed by TCP sequence
+// number; the ring holds one window's worth (the peer never sends beyond
+// the advertised window, so live data always fits).
+//
+// A nil *Ring is valid and means "modelled-only" mode: throughput
+// experiments skip byte copies entirely and only lengths travel.
+type Ring struct {
+	buf []byte
+}
+
+// NewRing allocates a ring of the given power-of-two size.
+func NewRing(size int) *Ring {
+	if size&(size-1) != 0 || size <= 0 {
+		panic("datapath: ring size must be a positive power of two")
+	}
+	return &Ring{buf: make([]byte, size)}
+}
+
+// Size returns the ring capacity in bytes.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// WriteAt stores data at the given sequence position.
+func (r *Ring) WriteAt(seq seqnum.Value, data []byte) {
+	if r == nil || len(data) == 0 {
+		return
+	}
+	mask := len(r.buf) - 1
+	off := int(seq) & mask
+	n := copy(r.buf[off:], data)
+	if n < len(data) {
+		copy(r.buf, data[n:])
+	}
+}
+
+// ReadAt copies length bytes starting at the sequence position into a new
+// slice. Returns nil for a nil ring (modelled-only mode).
+func (r *Ring) ReadAt(seq seqnum.Value, length int) []byte {
+	if r == nil || length == 0 {
+		return nil
+	}
+	out := make([]byte, length)
+	mask := len(r.buf) - 1
+	off := int(seq) & mask
+	n := copy(out, r.buf[off:])
+	if n < length {
+		copy(out[n:], r.buf)
+	}
+	return out
+}

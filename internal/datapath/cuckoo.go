@@ -1,0 +1,147 @@
+// Package datapath implements the protocol data-path logic FtEngine and
+// the software stack share: cuckoo-hash flow lookup, out-of-order
+// reassembly bookkeeping, the RX parser that digests packets into TCP
+// events, the TX packet generator, ARP resolution and ICMP echo
+// (§4.1.2). The hardware engine wraps these in cycle-accurate pipeline
+// models; the software stack wraps them in CPU cost accounting.
+package datapath
+
+import (
+	"fmt"
+
+	"f4t/internal/flow"
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// cuckooWays is the bucket associativity, matching the Xilinx HLS packet
+// processing library's table the paper references [3].
+const cuckooWays = 4
+
+// maxKicks bounds displacement chains before declaring the table full.
+const maxKicks = 64
+
+type cuckooEntry struct {
+	key   wire.FourTuple
+	val   flow.ID
+	inUse bool
+}
+
+// CuckooTable maps 4-tuples to flow IDs with two hash functions and
+// 4-way buckets — the RX parser's flow lookup structure (§4.1.2).
+type CuckooTable struct {
+	buckets [][cuckooWays]cuckooEntry
+	mask    uint64
+	size    int
+	rng     *sim.Rand
+}
+
+// NewCuckooTable returns a table with capacity for at least n entries.
+// The bucket count rounds up to a power of two sized for ~75 % load.
+func NewCuckooTable(n int, seed uint64) *CuckooTable {
+	want := n*4/3/cuckooWays + 1
+	nb := 1
+	for nb < want {
+		nb <<= 1
+	}
+	return &CuckooTable{
+		buckets: make([][cuckooWays]cuckooEntry, nb),
+		mask:    uint64(nb - 1),
+		rng:     sim.NewRand(seed),
+	}
+}
+
+func (c *CuckooTable) h1(k wire.FourTuple) uint64 { return k.Hash() & c.mask }
+func (c *CuckooTable) h2(k wire.FourTuple) uint64 {
+	h := k.Hash()
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 29
+	return h & c.mask
+}
+
+// Len returns the number of stored entries.
+func (c *CuckooTable) Len() int { return c.size }
+
+// Lookup returns the flow ID for the tuple.
+func (c *CuckooTable) Lookup(k wire.FourTuple) (flow.ID, bool) {
+	for _, b := range []uint64{c.h1(k), c.h2(k)} {
+		for i := range c.buckets[b] {
+			e := &c.buckets[b][i]
+			if e.inUse && e.key == k {
+				return e.val, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Insert adds or updates a mapping. It reports false when the table could
+// not place the key after the displacement bound (effectively full).
+func (c *CuckooTable) Insert(k wire.FourTuple, v flow.ID) bool {
+	// Update in place if present.
+	for _, b := range []uint64{c.h1(k), c.h2(k)} {
+		for i := range c.buckets[b] {
+			e := &c.buckets[b][i]
+			if e.inUse && e.key == k {
+				e.val = v
+				return true
+			}
+		}
+	}
+	key, val := k, v
+	for kick := 0; kick < maxKicks; kick++ {
+		for _, b := range []uint64{c.h1(key), c.h2(key)} {
+			for i := range c.buckets[b] {
+				e := &c.buckets[b][i]
+				if !e.inUse {
+					*e = cuckooEntry{key: key, val: val, inUse: true}
+					c.size++
+					return true
+				}
+			}
+		}
+		// Both buckets full: evict a random resident and re-place it.
+		b := c.h1(key)
+		if c.rng.Bool(0.5) {
+			b = c.h2(key)
+		}
+		slot := c.rng.Intn(cuckooWays)
+		victim := c.buckets[b][slot]
+		c.buckets[b][slot] = cuckooEntry{key: key, val: val, inUse: true}
+		key, val = victim.key, victim.val
+	}
+	// Could not place the displaced key; undo is not needed because the
+	// displaced entry is the one reported lost — restore by best effort:
+	// try once more in its two buckets (may still fail).
+	for _, b := range []uint64{c.h1(key), c.h2(key)} {
+		for i := range c.buckets[b] {
+			e := &c.buckets[b][i]
+			if !e.inUse {
+				*e = cuckooEntry{key: key, val: val, inUse: true}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Delete removes a mapping, reporting whether it was present.
+func (c *CuckooTable) Delete(k wire.FourTuple) bool {
+	for _, b := range []uint64{c.h1(k), c.h2(k)} {
+		for i := range c.buckets[b] {
+			e := &c.buckets[b][i]
+			if e.inUse && e.key == k {
+				*e = cuckooEntry{}
+				c.size--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String describes occupancy for diagnostics.
+func (c *CuckooTable) String() string {
+	return fmt.Sprintf("cuckoo{%d/%d}", c.size, len(c.buckets)*cuckooWays)
+}

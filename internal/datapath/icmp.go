@@ -1,0 +1,23 @@
+package datapath
+
+import "f4t/internal/wire"
+
+// HandleICMP answers echo requests addressed to us (FtEngine's ping
+// diagnostics, §4.1.2) and returns the reply, or nil when no response is
+// required.
+func HandleICMP(pkt *wire.Packet, localIP wire.Addr, localMAC wire.MAC) *wire.Packet {
+	if pkt.Kind != wire.KindICMP || pkt.ICMP.Type != wire.ICMPEchoRequest || pkt.IP.Dst != localIP {
+		return nil
+	}
+	return &wire.Packet{
+		Kind: wire.KindICMP,
+		Eth:  wire.EthHeader{Src: localMAC, Dst: pkt.Eth.Src, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: localIP, Dst: pkt.IP.Src,
+			TTL: wire.DefaultTTL, Protocol: wire.ProtoICMP,
+		},
+		ICMP:       wire.ICMPEcho{Type: wire.ICMPEchoReply, ID: pkt.ICMP.ID, Seq: pkt.ICMP.Seq},
+		PayloadLen: pkt.PayloadLen,
+		Payload:    pkt.Payload,
+	}
+}

@@ -1,0 +1,106 @@
+package datapath
+
+import (
+	"f4t/internal/seqnum"
+	"f4t/internal/tcpproc"
+	"f4t/internal/wire"
+)
+
+// FlowMeta is what the packet generator must know about a flow to build
+// headers: addressing and the resolved destination MAC.
+type FlowMeta struct {
+	Tuple    wire.FourTuple
+	LocalMAC wire.MAC
+	PeerMAC  wire.MAC
+}
+
+// PayloadFetch reads length bytes at the given sequence from the flow's
+// TX data buffer (the DMA fetch of §4.1.2 ②). It may return nil in
+// modelled-only mode; the returned slice length must then be ignored.
+type PayloadFetch func(seq seqnum.Value, length int) []byte
+
+// Generator is the TX packet generator: it turns FPU send requests into
+// wire packets, generating TCP/IP headers and splitting transfers larger
+// than the MSS (§4.1.2 TX data path). It is stateless per flow (only a
+// running IP ID), so the hardware can pipeline and parallelize it.
+type Generator struct {
+	mss      uint32
+	wndScale uint8
+	ipID     uint16
+	ecn      bool
+}
+
+// EnableECN makes generated data packets ECN-capable (ECT(0)), so
+// switches can mark them instead of dropping (RFC 3168 / DCTCP).
+func (g *Generator) EnableECN() { g.ecn = true }
+
+// NewGenerator returns a generator with the given segmentation parameters.
+func NewGenerator(mss uint32, wndScale uint8) *Generator {
+	return &Generator{mss: mss, wndScale: wndScale}
+}
+
+// encodeWindow scales a byte window into the 16-bit header field.
+func (g *Generator) encodeWindow(wnd uint32) uint16 {
+	w := wnd >> g.wndScale
+	if w > 0xFFFF {
+		w = 0xFFFF
+	}
+	return uint16(w)
+}
+
+// Build expands one send operation into wire packets, invoking emit for
+// each. fetch supplies payload bytes (nil fetch = modelled-only). It
+// returns the number of packets generated.
+func (g *Generator) Build(op tcpproc.SendOp, meta FlowMeta, fetch PayloadFetch, emit func(*wire.Packet)) int {
+	base := wire.Packet{
+		Kind: wire.KindTCP,
+		Eth:  wire.EthHeader{Src: meta.LocalMAC, Dst: meta.PeerMAC, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: meta.Tuple.LocalAddr, Dst: meta.Tuple.RemoteAddr,
+			TTL: wire.DefaultTTL, Protocol: wire.ProtoTCP,
+		},
+	}
+	count := 0
+	remaining := op.Len
+	seq := op.Seq
+	for {
+		segLen := remaining
+		if segLen > g.mss {
+			segLen = g.mss
+		}
+		last := remaining == segLen
+
+		pkt := base
+		g.ipID++
+		pkt.IP.ID = g.ipID
+		if g.ecn && segLen > 0 {
+			pkt.IP.ECN = wire.ECNECT0
+		}
+		flags := op.Flags
+		if !last {
+			// Only the final split segment carries PSH/FIN semantics.
+			flags &^= wire.FlagPSH | wire.FlagFIN
+		}
+		pkt.TCP = wire.TCPHeader{
+			SrcPort: meta.Tuple.LocalPort,
+			DstPort: meta.Tuple.RemotePort,
+			Seq:     seq,
+			Ack:     op.Ack,
+			Flags:   flags,
+			Window:  g.encodeWindow(op.Wnd),
+		}
+		pkt.PayloadLen = int(segLen)
+		if fetch != nil && segLen > 0 {
+			pkt.Payload = fetch(seq, int(segLen))
+		}
+		emit(&pkt)
+		count++
+
+		if last {
+			break
+		}
+		seq = seq.Add(seqnum.Size(segLen))
+		remaining -= segLen
+	}
+	return count
+}

@@ -1,0 +1,197 @@
+package datapath
+
+import (
+	"f4t/internal/flow"
+	"f4t/internal/seqnum"
+	"f4t/internal/wire"
+)
+
+// parserFlow is the RX parser's per-flow shadow state: the reassembler,
+// the last ACK/window seen (for duplicate-ACK detection), and the receive
+// ring the parser DMAs payloads into (§4.1.2 RX data path).
+type parserFlow struct {
+	id      flow.ID
+	reasm   *Reassembler
+	ring    *Ring
+	lastAck seqnum.Value
+	lastWnd uint32
+	haveAck bool
+	synSeen bool
+	rcvBuf  uint32
+	finSeen bool
+	finSeq  seqnum.Value
+}
+
+// ParseResult is what the RX parser hands the control path for one TCP
+// packet: a digested event plus drop accounting.
+type ParseResult struct {
+	Event   flow.Event
+	Dropped bool // payload did not fit the receive window
+	NoFlow  bool // 4-tuple matched no registered flow
+}
+
+// Parser is the RX parser: cuckoo flow lookup, per-flow reassembly, and
+// event digestion. Both the engine (with pipeline timing) and the
+// software stack (with CPU costs) drive this same logic.
+type Parser struct {
+	table    *CuckooTable
+	flows    map[flow.ID]*parserFlow
+	wndScale uint8
+	rcvBuf   uint32
+}
+
+// NewParser returns a parser sized for maxFlows concurrent connections.
+func NewParser(maxFlows int, rcvBuf uint32, wndScale uint8, seed uint64) *Parser {
+	return &Parser{
+		table:    NewCuckooTable(maxFlows, seed),
+		flows:    make(map[flow.ID]*parserFlow, maxFlows),
+		wndScale: wndScale,
+		rcvBuf:   rcvBuf,
+	}
+}
+
+// Register installs a flow in the lookup table. ring may be nil for
+// modelled-only transfers. For active opens the in-order boundary is not
+// known yet; it is set when the peer's SYN arrives.
+func (p *Parser) Register(t wire.FourTuple, id flow.ID, ring *Ring) bool {
+	if !p.table.Insert(t, id) {
+		return false
+	}
+	p.flows[id] = &parserFlow{id: id, ring: ring, rcvBuf: p.rcvBuf}
+	return true
+}
+
+// Deregister removes a flow from the lookup table.
+func (p *Parser) Deregister(t wire.FourTuple, id flow.ID) {
+	p.table.Delete(t)
+	delete(p.flows, id)
+}
+
+// Lookup exposes the flow table (used by tests and the engine's RSS).
+func (p *Parser) Lookup(t wire.FourTuple) (flow.ID, bool) { return p.table.Lookup(t) }
+
+// Flows returns the number of registered flows.
+func (p *Parser) Flows() int { return len(p.flows) }
+
+// Ring returns a flow's receive ring (nil in modelled-only mode).
+func (p *Parser) Ring(id flow.ID) *Ring {
+	if f := p.flows[id]; f != nil {
+		return f.ring
+	}
+	return nil
+}
+
+// Parse digests one received TCP packet into a control-path event,
+// performing window admission, payload DMA, logical reassembly and
+// duplicate-ACK detection. It mirrors §4.1.2: data is written to the
+// buffer whether or not it is in order; the application is notified only
+// of the in-order boundary.
+func (p *Parser) Parse(pkt *wire.Packet) ParseResult {
+	tuple := pkt.Tuple()
+	id, ok := p.table.Lookup(tuple)
+	if !ok {
+		return ParseResult{NoFlow: true}
+	}
+	pf := p.flows[id]
+	if pf == nil {
+		return ParseResult{NoFlow: true}
+	}
+
+	ev := flow.Event{Kind: flow.EvRx, Flow: id, Coalescable: true}
+	hdr := &pkt.TCP
+
+	// Connection flags.
+	if hdr.Flags&wire.FlagRST != 0 {
+		ev.RxFlags |= flow.RxRST
+		ev.Coalescable = false
+		return ParseResult{Event: ev}
+	}
+	if hdr.Flags&wire.FlagSYN != 0 {
+		ev.RxFlags |= flow.RxSYN
+		ev.SynSeq = hdr.Seq
+		ev.Coalescable = false
+		if !pf.synSeen {
+			pf.synSeen = true
+			pf.reasm = NewReassembler(hdr.Seq.Add(1))
+		}
+	}
+
+	// ECN: congestion-experienced marks on data and echo flags on acks
+	// are conveyed as counters (they must never coalesce away).
+	if pkt.IP.ECN == wire.ECNCE && pkt.PayloadLen > 0 {
+		ev.CE = true
+		ev.Coalescable = false
+	}
+	if hdr.Flags&wire.FlagECE != 0 && hdr.Flags&wire.FlagACK != 0 {
+		ev.ECE = true
+		ev.Coalescable = false
+	}
+
+	// ACK and window (latest value wins downstream).
+	if hdr.Flags&wire.FlagACK != 0 {
+		wnd := uint32(hdr.Window) << p.wndScale
+		payload := pkt.PayloadLen
+		isDup := payload == 0 &&
+			hdr.Flags&(wire.FlagSYN|wire.FlagFIN) == 0 &&
+			pf.haveAck && hdr.Ack == pf.lastAck && wnd == pf.lastWnd
+		if isDup {
+			ev.IsDupAck = true
+			ev.Coalescable = false // increments must not merge away
+		} else {
+			ev.HasAck = true
+			ev.Ack = hdr.Ack
+		}
+		ev.HasWnd = true
+		ev.Wnd = wnd
+		pf.lastAck, pf.lastWnd, pf.haveAck = hdr.Ack, wnd, true
+	}
+
+	dropped := false
+	if pkt.PayloadLen > 0 {
+		if pf.reasm == nil {
+			// Data before any SYN: nothing to anchor reassembly to.
+			dropped = true
+			ev.AckNow = true
+			ev.Coalescable = false
+		} else {
+			res := pf.reasm.Insert(hdr.Seq, pkt.PayloadLen, pf.rcvBuf)
+			if res.Admitted {
+				// DMA the payload into the receive ring regardless of
+				// order (§4.1.2); reassembly is logical.
+				if pf.ring != nil && pkt.Payload != nil {
+					pf.ring.WriteAt(hdr.Seq, pkt.Payload)
+				}
+			} else {
+				dropped = true
+			}
+			if res.Advanced {
+				ev.HasData = true
+				ev.RcvData = res.NewRcvNxt
+			}
+			if res.OutOfOrder || res.Duplicate || !res.Admitted {
+				// Gaps, retransmissions and out-of-window arrivals all
+				// demand an immediate (duplicate) ACK.
+				ev.AckNow = true
+				ev.Coalescable = false
+			}
+		}
+	}
+
+	// FIN: record its sequence (end of payload); deliver the flag only —
+	// the FPU consumes it once in order.
+	if hdr.Flags&wire.FlagFIN != 0 {
+		finSeq := hdr.Seq.Add(seqnum.Size(pkt.PayloadLen))
+		if !pf.finSeen {
+			pf.finSeen = true
+			pf.finSeq = finSeq
+		}
+		ev.RxFlags |= flow.RxFIN
+		ev.FinSeq = finSeq
+		ev.Coalescable = false
+		if pf.reasm != nil && finSeq == pf.reasm.RcvNxt() {
+			pf.reasm.AdvanceTo(finSeq.Add(1))
+		}
+	}
+
+	return ParseResult{Event: ev, Dropped: dropped}
+}

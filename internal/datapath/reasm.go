@@ -1,0 +1,136 @@
+package datapath
+
+import "f4t/internal/seqnum"
+
+// chunk is a contiguous received byte range [start, end) beyond the
+// in-order boundary.
+type chunk struct {
+	start, end seqnum.Value
+}
+
+// Reassembler tracks out-of-sequence data chunks for one flow and merges
+// arrivals into their neighbours, advancing the in-order boundary without
+// touching payload bytes — the paper's "logical reassembly" (§4.1.2 RX
+// data path).
+type Reassembler struct {
+	rcvNxt seqnum.Value
+	chunks []chunk // sorted, disjoint, all strictly beyond rcvNxt
+}
+
+// InsertResult reports what one segment arrival did.
+type InsertResult struct {
+	Admitted   bool         // payload stored in the buffer (fully or clipped)
+	Advanced   bool         // the in-order boundary moved
+	NewRcvNxt  seqnum.Value // boundary after the insert
+	OutOfOrder bool         // segment left a gap (stored beyond the boundary)
+	Duplicate  bool         // segment contained no new bytes
+}
+
+// NewReassembler starts tracking at the given initial in-order boundary
+// (peer ISN + 1).
+func NewReassembler(rcvNxt seqnum.Value) *Reassembler {
+	return &Reassembler{rcvNxt: rcvNxt}
+}
+
+// RcvNxt returns the current in-order boundary.
+func (r *Reassembler) RcvNxt() seqnum.Value { return r.rcvNxt }
+
+// Pending returns the number of buffered out-of-order chunks.
+func (r *Reassembler) Pending() int { return len(r.chunks) }
+
+// PendingBytes returns the total bytes waiting beyond the boundary.
+func (r *Reassembler) PendingBytes() int {
+	var n seqnum.Size
+	for _, c := range r.chunks {
+		n += c.end.DistanceFrom(c.start)
+	}
+	return int(n)
+}
+
+// Insert records the arrival of payload [seq, seq+length) given the
+// receive window [rcvNxt, rcvNxt+wnd). Data outside the window is
+// clipped; entirely-outside segments are dropped (Admitted=false), which
+// is the parser's admission rule (§4.1.2).
+func (r *Reassembler) Insert(seq seqnum.Value, length int, wnd uint32) InsertResult {
+	res := InsertResult{NewRcvNxt: r.rcvNxt}
+	if length <= 0 {
+		res.Duplicate = true
+		return res
+	}
+	start, end := seq, seq.Add(seqnum.Size(length))
+	winEnd := r.rcvNxt.Add(seqnum.Size(wnd))
+
+	// Clip to [rcvNxt, winEnd).
+	if start.LessThan(r.rcvNxt) {
+		start = r.rcvNxt
+	}
+	if end.GreaterThan(winEnd) {
+		end = winEnd
+	}
+	if !end.GreaterThan(start) {
+		// Nothing new: retransmission of acked data or beyond the window.
+		res.Duplicate = true
+		return res
+	}
+	res.Admitted = true
+	coveredBefore := r.PendingBytes()
+
+	// Merge [start, end) into the chunk list: absorb every chunk that
+	// overlaps or touches the new range, keep the rest in order.
+	merged := make([]chunk, 0, len(r.chunks)+1)
+	placed := false
+	for _, c := range r.chunks {
+		switch {
+		case end.LessThan(c.start): // new range ends strictly before c
+			if !placed {
+				merged = append(merged, chunk{start, end})
+				placed = true
+			}
+			merged = append(merged, c)
+		case c.end.LessThan(start): // c ends strictly before the new range
+			merged = append(merged, c)
+		default: // overlap or touch: absorb c into the new range
+			if c.start.LessThan(start) {
+				start = c.start
+			}
+			if c.end.GreaterThan(end) {
+				end = c.end
+			}
+		}
+	}
+	if !placed {
+		merged = append(merged, chunk{start, end})
+	}
+	r.chunks = merged
+
+	// Advance the boundary through any chunk now touching it.
+	var advance seqnum.Size
+	for len(r.chunks) > 0 && r.chunks[0].start.LessThanEq(r.rcvNxt) {
+		if r.chunks[0].end.GreaterThan(r.rcvNxt) {
+			advance += r.chunks[0].end.DistanceFrom(r.rcvNxt)
+			r.rcvNxt = r.chunks[0].end
+			res.Advanced = true
+		}
+		r.chunks = r.chunks[1:]
+	}
+
+	// Newness: the merge either grew coverage beyond the boundary or
+	// moved the boundary itself; otherwise every byte was already held.
+	if r.PendingBytes()+int(advance) <= coveredBefore {
+		res.Duplicate = true
+	}
+	res.NewRcvNxt = r.rcvNxt
+	res.OutOfOrder = len(r.chunks) > 0
+	return res
+}
+
+// AdvanceTo force-advances the boundary (used when the FIN consumes a
+// sequence number after the data stream ends).
+func (r *Reassembler) AdvanceTo(v seqnum.Value) {
+	if v.GreaterThan(r.rcvNxt) {
+		r.rcvNxt = v
+	}
+	for len(r.chunks) > 0 && r.chunks[0].end.LessThanEq(r.rcvNxt) {
+		r.chunks = r.chunks[1:]
+	}
+}

@@ -1,0 +1,289 @@
+// Package memmgr models the memory manager of §4.3.1: the DRAM-resident
+// TCB store that gives F4T its 64 K-flow connectivity, the direct-mapped
+// TCB cache in front of it, the event handling performed directly on
+// DRAM TCBs, and the check logic that decides which flows are worth
+// swapping into an FPC.
+package memmgr
+
+import (
+	"f4t/internal/flow"
+	"f4t/internal/sim"
+	"f4t/internal/tcpproc"
+)
+
+// TCBBytes is the modelled size of one TCB in device memory. The store
+// is charged one read and one write of this size per uncached access.
+const TCBBytes = 128
+
+// MemoryKind selects the device memory technology (§4.7).
+type MemoryKind uint8
+
+const (
+	// DDR is the U280's DDR4 channel pair: 38 GB/s peak (§4.7).
+	DDR MemoryKind = iota
+	// HBM is the U280's high-bandwidth memory: 460 GB/s peak (§4.7).
+	HBM
+)
+
+// Config parameterizes the manager.
+type Config struct {
+	Kind      MemoryKind
+	CacheSize int // direct-mapped TCB cache entries (0 disables)
+
+	// RandomAccessPct derates peak bandwidth for the short random
+	// accesses TCB traffic consists of (row activation overhead on DDR;
+	// pseudo-channel conflicts on HBM). DDR suffers far more at 128 B
+	// granularity.
+	RandomAccessPct int
+	LatencyNS       int64 // access latency
+}
+
+// DefaultConfig returns the model for the given memory kind. The derates
+// reflect 128 B random access: DDR4 delivers roughly a third of peak;
+// HBM's many pseudo-channels keep most of it.
+func DefaultConfig(kind MemoryKind) Config {
+	switch kind {
+	case HBM:
+		return Config{Kind: HBM, CacheSize: 512, RandomAccessPct: 60, LatencyNS: 120}
+	default:
+		return Config{Kind: DDR, CacheSize: 512, RandomAccessPct: 35, LatencyNS: 100}
+	}
+}
+
+// Hooks wire the manager's outputs.
+type Hooks struct {
+	// OnSwapInRequest fires when the check logic finds a DRAM-resident
+	// flow that can send packets (§4.3.1).
+	OnSwapInRequest func(id flow.ID)
+}
+
+type pendingEvent struct {
+	ev      flow.Event
+	readyAt int64
+}
+
+// Manager is the memory manager.
+type Manager struct {
+	k     *sim.Kernel
+	cfg   Config
+	hooks Hooks
+
+	tcbs  map[flow.ID]*flow.TCB
+	cache []flow.ID // direct-mapped: cache[i] = resident flow (NoFlow = empty)
+	rate  *sim.ByteRate
+	lat   int64 // access latency in cycles
+
+	input    *sim.Queue[flow.Event]
+	inFlight *sim.Queue[pendingEvent]
+	queued   map[flow.ID]int // events per flow across input+inFlight
+
+	// Stats.
+	Handled    sim.Counter
+	CacheHits  sim.Counter
+	CacheMiss  sim.Counter
+	SwapReqs   sim.Counter
+}
+
+// New builds a manager.
+func New(k *sim.Kernel, cfg Config, hooks Hooks) *Manager {
+	var peak int64
+	switch cfg.Kind {
+	case HBM:
+		peak = 460
+	default:
+		peak = 38
+	}
+	if cfg.RandomAccessPct <= 0 {
+		cfg.RandomAccessPct = 100
+	}
+	// Effective bytes/cycle = peak GB/s × derate; GBpsRate is ×4 B/cycle.
+	num := peak * 4 * int64(cfg.RandomAccessPct)
+	m := &Manager{
+		k:        k,
+		cfg:      cfg,
+		hooks:    hooks,
+		tcbs:     make(map[flow.ID]*flow.TCB),
+		rate:     sim.NewByteRate(num, 100),
+		lat:      sim.NSToCycles(cfg.LatencyNS),
+		input:    sim.NewQueue[flow.Event](0),
+		inFlight: sim.NewQueue[pendingEvent](0),
+		queued:   make(map[flow.ID]int),
+	}
+	if cfg.CacheSize > 0 {
+		m.cache = make([]flow.ID, cfg.CacheSize)
+		for i := range m.cache {
+			m.cache[i] = flow.NoFlow
+		}
+	}
+	return m
+}
+
+// FlowCount returns DRAM-resident flows.
+func (m *Manager) FlowCount() int { return len(m.tcbs) }
+
+// Has reports residency.
+func (m *Manager) Has(id flow.ID) bool {
+	_, ok := m.tcbs[id]
+	return ok
+}
+
+// Insert stores an evicted TCB (charging a DRAM write).
+func (m *Manager) Insert(t *flow.TCB) {
+	m.tcbs[t.FlowID] = t
+	t.EvictFlag = false
+	m.chargeAccess(t.FlowID, true)
+}
+
+// Extract removes a TCB for swap-in, returning it and the cycle at which
+// the DRAM read completes (the scheduler forwards it to the FPC then).
+// Events already queued inside the manager for this flow are handled
+// into the TCB first so they migrate with it — the "handled events are
+// later processed in FPC" guarantee (§4.3.1).
+func (m *Manager) Extract(id flow.ID) (*flow.TCB, int64, bool) {
+	t, ok := m.tcbs[id]
+	if !ok {
+		return nil, 0, false
+	}
+	m.absorbQueued(t)
+	delete(m.tcbs, id)
+	m.uncache(id)
+	done := m.chargeAccess(id, false)
+	return t, done, true
+}
+
+// absorbQueued folds every queued/in-flight event of the flow into its
+// TCB's event-input row and removes them from the queues. The per-flow
+// pending count makes the common case (no queued events) free; the
+// queue rebuild only runs when events are actually present.
+func (m *Manager) absorbQueued(t *flow.TCB) {
+	if m.queued[t.FlowID] == 0 {
+		return
+	}
+	delete(m.queued, t.FlowID)
+	keepIn := m.input
+	m.input = sim.NewQueue[flow.Event](0)
+	for {
+		ev, ok := keepIn.Pop()
+		if !ok {
+			break
+		}
+		if ev.Flow == t.FlowID {
+			t.In.Accumulate(&ev)
+			m.Handled.Inc()
+		} else {
+			m.input.Push(ev)
+		}
+	}
+	keepFl := m.inFlight
+	m.inFlight = sim.NewQueue[pendingEvent](0)
+	for {
+		pe, ok := keepFl.Pop()
+		if !ok {
+			break
+		}
+		if pe.ev.Flow == t.FlowID {
+			t.In.Accumulate(&pe.ev)
+			m.Handled.Inc()
+		} else {
+			m.inFlight.Push(pe)
+		}
+	}
+}
+
+// Drop discards a DRAM-resident flow (connection freed while swapped out).
+func (m *Manager) Drop(id flow.ID) {
+	delete(m.tcbs, id)
+	m.uncache(id)
+}
+
+// EnqueueEvent routes one event to a DRAM-resident flow.
+func (m *Manager) EnqueueEvent(ev flow.Event) bool {
+	if !m.input.Push(ev) {
+		return false
+	}
+	m.queued[ev.Flow]++
+	return true
+}
+
+// unqueue decrements the per-flow pending count.
+func (m *Manager) unqueue(id flow.ID) {
+	if n := m.queued[id]; n <= 1 {
+		delete(m.queued, id)
+	} else {
+		m.queued[id] = n - 1
+	}
+}
+
+// Backlog returns events queued for handling.
+func (m *Manager) Backlog() int { return m.input.Len() + m.inFlight.Len() }
+
+// chargeAccess books one TCB transfer against DRAM bandwidth and
+// latency. Cache hits (when tracking an access, not an insert/extract)
+// bypass the charge.
+func (m *Manager) chargeAccess(id flow.ID, write bool) int64 {
+	return m.rate.Reserve(m.k.Now(), TCBBytes) + m.lat
+}
+
+func (m *Manager) cacheSlot(id flow.ID) int {
+	if len(m.cache) == 0 {
+		return -1
+	}
+	return int(uint32(id)) % len(m.cache)
+}
+
+func (m *Manager) uncache(id flow.ID) {
+	if s := m.cacheSlot(id); s >= 0 && m.cache[s] == id {
+		m.cache[s] = flow.NoFlow
+	}
+}
+
+// Tick advances the manager: start handling queued events (cache lookup,
+// DRAM RMW) and retire those whose memory access completed — handling
+// events "directly to TCBs in the memory" (§4.3.1).
+func (m *Manager) Tick(cycle int64) {
+	// Start at most one new access per cycle.
+	if ev, ok := m.input.Peek(); ok {
+		if t := m.tcbs[ev.Flow]; t == nil {
+			m.input.Pop() // flow left DRAM while the event was queued
+			m.unqueue(ev.Flow)
+		} else {
+			m.input.Pop()
+			readyAt := cycle
+			if s := m.cacheSlot(ev.Flow); s >= 0 && m.cache[s] == ev.Flow {
+				m.CacheHits.Inc()
+				readyAt = cycle + 1 // BRAM cache hit: single-cycle
+			} else {
+				m.CacheMiss.Inc()
+				// Read-modify-write on the DRAM row; fill the cache slot.
+				done := m.rate.Reserve(cycle, 2*TCBBytes) + m.lat
+				if s >= 0 {
+					m.cache[s] = ev.Flow
+				}
+				readyAt = done
+			}
+			m.inFlight.Push(pendingEvent{ev: ev, readyAt: readyAt})
+		}
+	}
+
+	// Retire completed accesses in order.
+	for {
+		pe, ok := m.inFlight.Peek()
+		if !ok || pe.readyAt > cycle {
+			return
+		}
+		m.inFlight.Pop()
+		m.unqueue(pe.ev.Flow)
+		t := m.tcbs[pe.ev.Flow]
+		if t == nil {
+			continue
+		}
+		t.In.Accumulate(&pe.ev)
+		t.LastActive = cycle
+		m.Handled.Inc()
+		// Check logic: swap in only flows that can send packets (§4.3.1).
+		if tcpproc.Actionable(t) && m.hooks.OnSwapInRequest != nil {
+			m.SwapReqs.Inc()
+			m.hooks.OnSwapInRequest(pe.ev.Flow)
+		}
+	}
+}

@@ -1,0 +1,490 @@
+// Package sched models the F4T scheduler (§4.3.2, §4.4): the partitioned
+// location LUT that tracks where every flow's TCB lives, the four
+// 16-entry coalesce FIFOs that merge events of the same flow before
+// routing (§4.4.1), the pending queue with 12-cycle retry for events
+// whose flow is mid-migration, and the migration engine that moves TCBs
+// between FPCs and DRAM (including FPC→FPC load-balancing moves).
+package sched
+
+import (
+	"f4t/internal/engine/fpc"
+	"f4t/internal/engine/memmgr"
+	"f4t/internal/flow"
+	"f4t/internal/sim"
+	"f4t/internal/tcpproc"
+)
+
+// Location states in the LUT.
+type locKind uint8
+
+const (
+	locFree locKind = iota
+	locFPC
+	locDRAM
+	locMoving
+)
+
+type locEntry struct {
+	kind locKind
+	fpc  int8
+}
+
+// migTarget records where an in-flight migration is headed.
+type migTarget struct {
+	toDRAM   bool
+	fpc      int
+	reserved bool // a slot reservation is held at fpc
+}
+
+// pendingEv is an event waiting out a migration (§4.3.2).
+type pendingEv struct {
+	ev      flow.Event
+	retryAt int64
+}
+
+// retryCycles is the pending-queue retry interval (§4.3.2: "retries the
+// routing after 12 cycles").
+const retryCycles = 12
+
+// Config parameterizes the scheduler.
+type Config struct {
+	MaxFlows      int
+	CoalesceFIFOs int  // reference design: 4
+	FIFODepth     int  // reference design: 16
+	Coalesce      bool // event coalescing enable (§4.4.1; off for the 1FPC ablation)
+	LUTGroups     int  // location LUT partitions = routes per cycle (§4.4.2)
+}
+
+// DefaultConfig returns the reference-design scheduler.
+func DefaultConfig(maxFlows, numFPCs int) Config {
+	groups := (numFPCs + 1) / 2 // one route per two-cycle FPC slot (§4.4.2)
+	if groups < 1 {
+		groups = 1
+	}
+	return Config{
+		MaxFlows:      maxFlows,
+		CoalesceFIFOs: 4,
+		FIFODepth:     16,
+		Coalesce:      true,
+		LUTGroups:     groups,
+	}
+}
+
+// Scheduler orchestrates all flows (§4.1.2 ④).
+type Scheduler struct {
+	k    *sim.Kernel
+	cfg  Config
+	fpcs []*fpc.FPC
+	mem  *memmgr.Manager
+
+	lut        []locEntry
+	fifos      []*sim.Queue[flow.Event]
+	pending    *sim.Queue[pendingEv]
+	pendingCnt map[flow.ID]int // flows with events in the pending queue (order guard)
+
+	migrations map[flow.ID]migTarget
+	swapReqs   *sim.Queue[flow.ID]
+	swapQueued map[flow.ID]bool // dedupe: at most one queued request per flow
+	evictBusy  []bool           // one outstanding eviction per FPC
+
+	// Stats.
+	Routed       sim.Counter
+	Coalesced    sim.Counter
+	Backpressure sim.Counter
+	Migrations   sim.Counter
+	SwapIns      sim.Counter
+	DroppedEvents sim.Counter
+}
+
+// New builds a scheduler over the given FPCs and memory manager.
+func New(k *sim.Kernel, cfg Config, fpcs []*fpc.FPC, mem *memmgr.Manager) *Scheduler {
+	if cfg.CoalesceFIFOs <= 0 {
+		cfg.CoalesceFIFOs = 4
+	}
+	if cfg.FIFODepth <= 0 {
+		cfg.FIFODepth = 16
+	}
+	if cfg.LUTGroups <= 0 {
+		cfg.LUTGroups = 1
+	}
+	s := &Scheduler{
+		k:          k,
+		cfg:        cfg,
+		fpcs:       fpcs,
+		mem:        mem,
+		lut:        make([]locEntry, cfg.MaxFlows),
+		fifos:      make([]*sim.Queue[flow.Event], cfg.CoalesceFIFOs),
+		pending:    sim.NewQueue[pendingEv](0),
+		pendingCnt: make(map[flow.ID]int),
+		migrations: make(map[flow.ID]migTarget),
+		swapReqs:   sim.NewQueue[flow.ID](0),
+		swapQueued: make(map[flow.ID]bool),
+		evictBusy:  make([]bool, len(fpcs)),
+	}
+	for i := range s.fifos {
+		s.fifos[i] = sim.NewQueue[flow.Event](cfg.FIFODepth)
+	}
+	return s
+}
+
+// Location reports where a flow currently lives (testing/diagnostics).
+func (s *Scheduler) Location(id flow.ID) (inFPC bool, fpcIdx int, inDRAM, moving bool) {
+	e := s.lut[id]
+	switch e.kind {
+	case locFPC:
+		return true, int(e.fpc), false, false
+	case locDRAM:
+		return false, 0, true, false
+	case locMoving:
+		return false, 0, false, true
+	}
+	return false, 0, false, false
+}
+
+// AllocateFlow places a new flow: the FPC with the lowest flow count
+// (§4.4.2), or DRAM when every FPC is full.
+func (s *Scheduler) AllocateFlow(t *flow.TCB) {
+	best := -1
+	bestCount := 1 << 30
+	for i, f := range s.fpcs {
+		if f.HasSlot() && f.FlowCount() < bestCount {
+			best, bestCount = i, f.FlowCount()
+		}
+	}
+	if best >= 0 && s.fpcs[best].InstallNew(t) {
+		s.lut[t.FlowID] = locEntry{kind: locFPC, fpc: int8(best)}
+		return
+	}
+	s.mem.Insert(t)
+	s.lut[t.FlowID] = locEntry{kind: locDRAM}
+}
+
+// FlowFreed clears all state for a terminated flow.
+func (s *Scheduler) FlowFreed(id flow.ID) {
+	if s.lut[id].kind == locDRAM {
+		s.mem.Drop(id)
+	}
+	if tgt, ok := s.migrations[id]; ok && tgt.reserved && !tgt.toDRAM {
+		s.fpcs[tgt.fpc].ReleaseReservation()
+	}
+	s.lut[id] = locEntry{}
+	delete(s.migrations, id)
+}
+
+// Submit pushes one event into the coalesce stage. It reports false when
+// the flow's FIFO is full (backpressure to the host interface / RX
+// parser / timer module, which hold their own queues).
+func (s *Scheduler) Submit(ev flow.Event) bool {
+	idx := int(uint64(ev.Flow) % uint64(len(s.fifos)))
+	q := s.fifos[idx]
+	if s.cfg.Coalesce && ev.Coalescable {
+		merged := false
+		q.Scan(func(e *flow.Event) bool {
+			if e.Flow == ev.Flow && e.Coalescable && e.Kind == ev.Kind {
+				coalesceInto(e, &ev)
+				merged = true
+				return false
+			}
+			return true
+		})
+		if merged {
+			s.Coalesced.Inc()
+			return true
+		}
+	}
+	return q.Push(ev)
+}
+
+// coalesceInto merges src into dst using the same lossless rules as the
+// event handler (§4.4.1): cumulative pointers take the newest value.
+func coalesceInto(dst, src *flow.Event) {
+	switch src.Kind {
+	case flow.EvUser:
+		if src.HasReq {
+			dst.HasReq, dst.Req = true, src.Req
+		}
+		if src.HasRead {
+			dst.HasRead, dst.AppRead = true, src.AppRead
+		}
+		dst.Ctl |= src.Ctl
+	case flow.EvRx:
+		if src.HasAck {
+			dst.HasAck, dst.Ack = true, src.Ack
+		}
+		if src.HasWnd {
+			dst.HasWnd, dst.Wnd = true, src.Wnd
+		}
+		if src.HasData {
+			dst.HasData, dst.RcvData = true, src.RcvData
+		}
+	case flow.EvTimeout:
+		dst.Timeouts |= src.Timeouts
+	}
+}
+
+// SubmitSpace reports whether the flow's FIFO can take another event.
+func (s *Scheduler) SubmitSpace(id flow.ID) bool {
+	return !s.fifos[int(uint64(id)%uint64(len(s.fifos)))].Full()
+}
+
+// RequestSwapIn is the memory manager's check-logic signal (§4.3.1).
+// Requests dedupe per flow: the check logic fires per handled event, but
+// one pending swap-in per flow suffices.
+func (s *Scheduler) RequestSwapIn(id flow.ID) {
+	if s.swapQueued[id] {
+		return
+	}
+	s.swapQueued[id] = true
+	s.swapReqs.Push(id)
+}
+
+// Tick advances routing, pending retries and migrations.
+func (s *Scheduler) Tick(cycle int64) {
+	s.route(cycle)
+	s.retryPending(cycle)
+	s.processSwapIns(cycle)
+}
+
+// route pops up to one event per coalesce FIFO per cycle — the
+// partitioned-LUT routing bandwidth of §4.4.2 — and forwards each to its
+// flow's current location.
+func (s *Scheduler) route(cycle int64) {
+	routes := 0
+	for _, q := range s.fifos {
+		if routes >= s.cfg.LUTGroups {
+			break
+		}
+		ev, ok := q.Peek()
+		if !ok {
+			continue
+		}
+		// Order guard: a flow with events already waiting in the pending
+		// queue must not have later events overtake them.
+		if s.pendingCnt[ev.Flow] > 0 {
+			q.Pop()
+			s.toPending(ev, cycle)
+			routes++
+			continue
+		}
+		switch s.lut[ev.Flow].kind {
+		case locFPC:
+			f := s.fpcs[s.lut[ev.Flow].fpc]
+			if f.EnqueueEvent(ev) {
+				q.Pop()
+				s.Routed.Inc()
+				routes++
+			} else {
+				// Congested FPC: head-of-line wait, plus a load-balancing
+				// migration of this flow to the idlest FPC (§4.4.2).
+				s.Backpressure.Inc()
+				s.maybeRebalance(ev.Flow, int(s.lut[ev.Flow].fpc))
+			}
+		case locDRAM:
+			if s.mem.EnqueueEvent(ev) {
+				q.Pop()
+				s.Routed.Inc()
+				routes++
+			}
+		case locMoving:
+			q.Pop()
+			s.toPending(ev, cycle)
+			routes++
+		default: // freed flow: event has nowhere to go
+			q.Pop()
+			s.DroppedEvents.Inc()
+			routes++
+		}
+	}
+}
+
+func (s *Scheduler) toPending(ev flow.Event, cycle int64) {
+	s.pending.Push(pendingEv{ev: ev, retryAt: cycle + retryCycles})
+	s.pendingCnt[ev.Flow]++
+}
+
+// retryPending re-routes events whose retry interval elapsed (§4.3.2).
+func (s *Scheduler) retryPending(cycle int64) {
+	for i := 0; i < 4; i++ { // a few retries per cycle
+		pe, ok := s.pending.Peek()
+		if !ok || pe.retryAt > cycle {
+			return
+		}
+		ev := pe.ev
+		switch s.lut[ev.Flow].kind {
+		case locFPC:
+			if !s.fpcs[s.lut[ev.Flow].fpc].EnqueueEvent(ev) {
+				return // destination congested: hold position, retry later
+			}
+		case locDRAM:
+			if !s.mem.EnqueueEvent(ev) {
+				return
+			}
+		case locMoving:
+			// Still migrating: recycle to the tail with a fresh deadline.
+			s.pending.Pop()
+			s.pending.Push(pendingEv{ev: ev, retryAt: cycle + retryCycles})
+			return
+		default:
+			s.pending.Pop()
+			s.pendingCnt[ev.Flow]--
+			if s.pendingCnt[ev.Flow] <= 0 {
+				delete(s.pendingCnt, ev.Flow)
+			}
+			s.DroppedEvents.Inc()
+			continue
+		}
+		s.pending.Pop()
+		s.pendingCnt[ev.Flow]--
+		if s.pendingCnt[ev.Flow] <= 0 {
+			delete(s.pendingCnt, ev.Flow)
+		}
+		s.Routed.Inc()
+	}
+}
+
+// maybeRebalance migrates a flow away from a congested FPC to the idlest
+// one (§4.4.2). At most one eviction per FPC is in flight.
+func (s *Scheduler) maybeRebalance(id flow.ID, from int) {
+	if s.evictBusy[from] {
+		return
+	}
+	best, bestCount := -1, 1<<30
+	for i, f := range s.fpcs {
+		if i != from && f.HasSlot() && f.FlowCount() < bestCount {
+			best, bestCount = i, f.FlowCount()
+		}
+	}
+	if best < 0 {
+		return
+	}
+	if !s.fpcs[best].ReserveSlot() {
+		return
+	}
+	s.startMigration(id, from, migTarget{fpc: best, reserved: true})
+}
+
+// processSwapIns services check-logic requests: extract the TCB from
+// DRAM and push it into the chosen FPC, evicting a cold flow first when
+// every FPC is full (§4.3.2). Blocked-but-valid requests recycle to the
+// tail so stale entries behind them still drain.
+func (s *Scheduler) processSwapIns(cycle int64) {
+	for i := 0; i < 4; i++ {
+		id, ok := s.swapReqs.Pop()
+		if !ok {
+			return
+		}
+		delete(s.swapQueued, id)
+		if s.lut[id].kind != locDRAM || !s.mem.Has(id) {
+			continue // already moved or freed
+		}
+		best, bestCount := -1, 1<<30
+		for j, f := range s.fpcs {
+			if f.HasSlot() && f.FlowCount() < bestCount {
+				best, bestCount = j, f.FlowCount()
+			}
+		}
+		if best < 0 || !s.fpcs[best].ReserveSlot() {
+			// Every FPC full: make room by evicting a cold flow, recycle
+			// the request to the tail, and retry later.
+			s.swapQueued[id] = true
+			s.swapReqs.Push(id)
+			s.makeRoom()
+			return
+		}
+		s.SwapIns.Inc()
+		s.lut[id] = locEntry{kind: locMoving}
+		tcb, readyAt, found := s.mem.Extract(id)
+		if !found {
+			s.fpcs[best].ReleaseReservation()
+			s.lut[id] = locEntry{}
+			continue
+		}
+		target := best
+		s.migrations[tcb.FlowID] = migTarget{fpc: target, reserved: true}
+		s.k.At(readyAt, func() {
+			// The reservation guarantees capacity.
+			s.fpcs[target].AcceptTCB(tcb)
+		})
+	}
+}
+
+// makeRoom evicts the coldest flow from the FPC with no eviction in
+// flight (picking the fullest such FPC).
+func (s *Scheduler) makeRoom() {
+	best, bestCount := -1, -1
+	for i, f := range s.fpcs {
+		if !s.evictBusy[i] && f.FlowCount() > bestCount {
+			best, bestCount = i, f.FlowCount()
+		}
+	}
+	if best < 0 {
+		return
+	}
+	victim := s.fpcs[best].ColdestFlow()
+	if victim == flow.NoFlow {
+		return
+	}
+	s.startMigration(victim, best, migTarget{toDRAM: true})
+}
+
+// startMigration sets the moving state and the evict flag (§4.3.2: both
+// at the same time, which blocks routing of new input events).
+func (s *Scheduler) startMigration(id flow.ID, from int, tgt migTarget) {
+	if s.lut[id].kind != locFPC {
+		return
+	}
+	if !s.fpcs[from].RequestEvict(id) {
+		return
+	}
+	s.Migrations.Inc()
+	s.evictBusy[from] = true
+	s.migrations[id] = tgt
+	s.lut[id] = locEntry{kind: locMoving}
+}
+
+// Evicted receives a TCB captured by an FPC's evict checker and forwards
+// it to its migration target.
+func (s *Scheduler) Evicted(from int, t *flow.TCB) {
+	s.evictBusy[from] = false
+	tgt, ok := s.migrations[t.FlowID]
+	if !ok || tgt.toDRAM {
+		delete(s.migrations, t.FlowID)
+		s.mem.Insert(t)
+		s.lut[t.FlowID] = locEntry{kind: locDRAM}
+		// Events that were handled during the eviction window travel with
+		// the TCB; the check logic decides whether they warrant a swap
+		// back in (§4.3.1) — a bare window update does not.
+		if tcpproc.Actionable(t) {
+			s.RequestSwapIn(t.FlowID)
+		}
+		return
+	}
+	// FPC→FPC rebalancing move; the reservation guarantees capacity.
+	if s.fpcs[tgt.fpc].AcceptTCB(t) {
+		return // Installed() will finalize
+	}
+	delete(s.migrations, t.FlowID)
+	s.mem.Insert(t)
+	s.lut[t.FlowID] = locEntry{kind: locDRAM}
+}
+
+// EvictAborted releases an eviction slot whose flow terminated during
+// its final FPU pass, returning any reservation held at the target.
+func (s *Scheduler) EvictAborted(from int, id flow.ID) {
+	s.evictBusy[from] = false
+	if tgt, ok := s.migrations[id]; ok && tgt.reserved && !tgt.toDRAM {
+		s.fpcs[tgt.fpc].ReleaseReservation()
+	}
+	delete(s.migrations, id)
+}
+
+// Installed is the FPC's signal that a migrated TCB landed in its table;
+// the LUT flips to the new location and routing resumes (§4.3.2).
+func (s *Scheduler) Installed(fpcIdx int, id flow.ID) {
+	delete(s.migrations, id)
+	s.lut[id] = locEntry{kind: locFPC, fpc: int8(fpcIdx)}
+}
+
+// PendingEvents returns the pending-queue depth (bounded-queue invariant
+// checks in tests).
+func (s *Scheduler) PendingEvents() int { return s.pending.Len() }

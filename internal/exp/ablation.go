@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+
+	"f4t/internal/engine"
+	"f4t/internal/hostif"
+)
+
+// AblationFPCScaling sweeps the number of parallel FPCs (§4.4.2) on
+// round-robin header traffic: throughput should grow with FPC count
+// until another resource (host cores, PCIe) binds.
+func AblationFPCScaling(quick bool) *Table {
+	t := &Table{
+		Title:  "Ablation: parallel FPC scaling (round-robin header traffic, Mrps)",
+		Header: []string{"FPCs", "Mrps"},
+	}
+	counts := []int{1, 2, 4, 8, 16}
+	cores := 24
+	if quick {
+		counts = []int{1, 4, 8}
+		cores = 8
+	}
+	for _, n := range counts {
+		nn := n
+		rate := headerPointN(cores, func(c *engine.Config) {
+			c.NumFPCs = nn
+			c.Coalesce = true
+		}, true)
+		t.AddRow(fmt.Sprintf("%d", n), f1(Mrps(rate)))
+	}
+	t.Notes = append(t.Notes,
+		"§4.4.2: FPCs scale independently; round-robin traffic needs the parallelism")
+	return t
+}
+
+// AblationCoalescing toggles scheduler event coalescing (§4.4.1) on
+// same-flow bulk traffic, isolating its contribution.
+func AblationCoalescing(quick bool) *Table {
+	t := &Table{
+		Title:  "Ablation: scheduler event coalescing (bulk header traffic, Mrps)",
+		Header: []string{"coalescing", "1 FPC", "8 FPCs"},
+	}
+	cores := 24
+	if quick {
+		cores = 8
+	}
+	for _, on := range []bool{false, true} {
+		coal := on
+		row := []string{fmt.Sprintf("%v", on)}
+		for _, n := range []int{1, 8} {
+			nn := n
+			rate := headerPointN(cores, func(c *engine.Config) {
+				c.NumFPCs = nn
+				c.Coalesce = coal
+			}, false)
+			row = append(row, f1(Mrps(rate)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"§4.4.1: coalescing multiplies same-flow throughput — the 1FPC→1FPC-C step of Fig 16b")
+	return t
+}
+
+// AblationTCBCache sweeps the memory manager's direct-mapped TCB cache
+// on the DDR echo workload: the cache is what keeps handled-event RMWs
+// off the DRAM channel.
+func AblationTCBCache(quick bool) *Table {
+	t := &Table{
+		Title:  "Ablation: memory-manager TCB cache (DDR echo @4096 flows, Mrps)",
+		Header: []string{"cache entries", "Mrps"},
+	}
+	sizes := []int{0, 128, 512, 2048}
+	if quick {
+		sizes = []int{0, 512}
+	}
+	for _, size := range sizes {
+		sz := size
+		if sz == 0 {
+			sz = -1 // disabled
+		}
+		mrps, _ := EchoPointMut("f4t-ddr", 4096, func(c *engine.Config) {
+			c.TCBCache = sz
+		})
+		t.AddRow(fmt.Sprintf("%d", size), f2(mrps))
+	}
+	t.Notes = append(t.Notes,
+		"§4.3.1: the direct-mapped cache handles frequently accessed DRAM TCBs efficiently")
+	return t
+}
+
+// headerPointN is headerPoint with an arbitrary config mutation.
+func headerPointN(cores int, mutate func(*engine.Config), roundRobin bool) float64 {
+	return headerPointMut(cores, hostif.CommandBytes16, roundRobin, mutate)
+}

@@ -1,0 +1,16 @@
+package exp
+
+import "testing"
+
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	for _, fn := range []func(bool) *Table{AblationFPCScaling, AblationCoalescing, AblationTCBCache} {
+		tab := fn(true)
+		t.Log("\n" + tab.String())
+		if len(tab.Rows) == 0 {
+			t.Error("ablation produced no rows")
+		}
+	}
+}

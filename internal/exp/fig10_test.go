@@ -1,0 +1,14 @@
+package exp
+
+import "testing"
+
+func TestNginxPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	for _, s := range []string{"linux", "f4t"} {
+		res := NginxPoint(s, 1, 64)
+		t.Logf("%-6s 1 core 64 flows: %.1f Krps med=%.1fus p99=%.1fus breakdown=%v",
+			s, res.Krps, float64(res.MedianNS)/1e3, float64(res.P99NS)/1e3, res.Breakdown)
+	}
+}

@@ -1,0 +1,11 @@
+package exp
+
+import "testing"
+
+func TestFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	tab := Fig12()
+	t.Log("\n" + tab.String())
+}

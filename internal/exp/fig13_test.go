@@ -1,0 +1,32 @@
+package exp
+
+import "testing"
+
+func TestFig13Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end sweep")
+	}
+	tab := Fig13(true)
+	t.Log("\n" + tab.String())
+}
+
+// TestEcho64K exercises the full 65,536-flow connectivity point (§5.3).
+// It is minutes of wall time, so it only runs in the exhaustive pass.
+func TestEcho64K(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64K-flow run is minutes long")
+	}
+	mrps, frac := EchoPoint("f4t-hbm", 65536)
+	t.Logf("f4t-hbm @64K flows: %.2f Mrps, %.0f%% established", mrps, frac*100)
+	// Establishing all 65,536 connections takes seconds of simulated
+	// time (minutes of wall time per simulated second at this scale), so
+	// the bounded ramp reaches tens of thousands of live flows; the
+	// architecture claim being checked is that the engine keeps its
+	// request rate with far more flows than the 1,024 FPC slots.
+	if frac < 0.25 {
+		t.Errorf("only %.0f%% of 64K flows established", frac*100)
+	}
+	if mrps < 20 {
+		t.Errorf("echo rate collapsed at scale: %.2f Mrps", mrps)
+	}
+}

@@ -1,0 +1,18 @@
+package exp
+
+import "testing"
+
+func TestFig14Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	tab := Fig14(true)
+	t.Log("\n" + tab.String())
+	// Both implementations must exhibit sawtooth behaviour.
+	// Rows alternate F4T/reference per algorithm.
+	for _, row := range tab.Rows {
+		if row[2] == "0" {
+			t.Errorf("%s/%s shows no loss epochs — no sawtooth", row[0], row[1])
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package exp
+
+import "testing"
+
+func TestFig16aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	tab := Fig16a(true)
+	t.Log("\n" + tab.String())
+}
+
+func TestFig16bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	tab := Fig16b(true)
+	t.Log("\n" + tab.String())
+}

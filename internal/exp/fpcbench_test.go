@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+func TestFig2Shape(t *testing.T) {
+	tab := Fig2(true)
+	t.Log("\n" + tab.String())
+	// The stall-free design must outpace the stalling one by roughly the
+	// ratio of their event rates (100M vs ~18.9M ≈ 5.3×).
+	// Rows: [size, wRMW, woRMW, gap].
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tab := Fig15(true)
+	t.Log("\n" + tab.String())
+}
+
+func TestAlgorithmTable(t *testing.T) {
+	tab := AlgorithmTable(true)
+	t.Log("\n" + tab.String())
+}

@@ -1,0 +1,19 @@
+package exp
+
+import "testing"
+
+func TestSmokeRRBackpressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	for _, c := range []struct {
+		rr    bool
+		size  int
+		cores int
+	}{
+		{true, 128, 4}, {true, 128, 8}, {true, 64, 8}, {false, 128, 2}, {false, 128, 8}, {false, 16, 16},
+	} {
+		r := TransferPoint("f4t", c.rr, c.size, c.cores, nil)
+		t.Logf("f4t rr=%-5v size=%-4d cores=%-2d -> %6.1f Gbps %6.1f Mrps", c.rr, c.size, c.cores, r.GoodputGbps, r.Mrps)
+	}
+}

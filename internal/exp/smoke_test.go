@@ -1,0 +1,34 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeTransferPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy end-to-end run")
+	}
+	if testing.Short() {
+		t.Skip("smoke")
+	}
+	for _, c := range []struct {
+		stack string
+		rr    bool
+		size  int
+		cores int
+	}{
+		{"f4t", false, 128, 1},
+		{"f4t", false, 128, 2},
+		{"f4t", false, 128, 8},
+		{"linux", false, 128, 1},
+		{"linux", false, 128, 8},
+		{"f4t", true, 128, 1},
+		{"linux", true, 128, 8},
+	} {
+		t0 := time.Now()
+		r := TransferPoint(c.stack, c.rr, c.size, c.cores, nil)
+		t.Logf("%-6s rr=%-5v size=%d cores=%d  -> %6.1f Gbps  %6.1f Mrps   (%.1fs wall)",
+			c.stack, c.rr, c.size, c.cores, r.GoodputGbps, r.Mrps, time.Since(t0).Seconds())
+	}
+}

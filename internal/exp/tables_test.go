@@ -1,0 +1,54 @@
+package exp
+
+import "testing"
+
+func TestFig7bMatchesPaper(t *testing.T) {
+	tab := Fig7b()
+	if len(tab.Rows) < 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// First two rows are the composed totals; the resource package's own
+	// tests verify the percentages — here just shape-check the table.
+	if tab.Rows[0][0] != "FtEngine (1 FPC)" || tab.Rows[1][0] != "FtEngine (8 FPCs)" {
+		t.Fatalf("unexpected leading rows: %v %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	t1 := Table1()
+	if len(t1.Rows) != 3 || len(t1.Header) != 6 {
+		t.Fatalf("table 1 shape: %dx%d", len(t1.Rows), len(t1.Header))
+	}
+	t2 := Table2()
+	if len(t2.Rows) != 4 {
+		t.Fatalf("table 2 rows: %d", len(t2.Rows))
+	}
+	if s := t1.String(); len(s) == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "x", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "n")
+	out := tab.String()
+	for _, want := range []string{"== x ==", "a", "bb", "note: n"} {
+		if !contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,198 @@
+package flow
+
+import (
+	"testing"
+	"testing/quick"
+
+	"f4t/internal/seqnum"
+)
+
+// genEvents builds a plausible in-order event stream for one flow from
+// random bytes: monotone Req/AppRead/Ack/RcvData pointers, occasional
+// flags, dup-acks and timeouts.
+func genEvents(raw []byte) []Event {
+	var out []Event
+	req, read, ack, data := seqnum.Value(1000), seqnum.Value(2000), seqnum.Value(3000), seqnum.Value(4000)
+	wnd := uint32(1 << 16)
+	for _, b := range raw {
+		var e Event
+		switch b % 5 {
+		case 0:
+			req = req.Add(seqnum.Size(b) + 1)
+			e = Event{Kind: EvUser, HasReq: true, Req: req}
+		case 1:
+			read = read.Add(seqnum.Size(b) + 1)
+			e = Event{Kind: EvUser, HasRead: true, AppRead: read}
+		case 2:
+			ack = ack.Add(seqnum.Size(b) + 1)
+			wnd = uint32(b)*17 + 100
+			e = Event{Kind: EvRx, HasAck: true, Ack: ack, HasWnd: true, Wnd: wnd}
+		case 3:
+			if b&0x10 != 0 {
+				e = Event{Kind: EvRx, IsDupAck: true, HasWnd: true, Wnd: wnd}
+			} else {
+				data = data.Add(seqnum.Size(b) + 1)
+				e = Event{Kind: EvRx, HasData: true, RcvData: data, AckNow: b&0x20 != 0}
+			}
+		case 4:
+			e = Event{Kind: EvTimeout, Timeouts: 1 << (b % 4)}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestAccumulateEquivalentToSequential is the §4.2.1 core property: the
+// accumulated row, merged once, must leave the same event inputs in the
+// TCB as handling each event in its own row-merge cycle (the sequential
+// oracle). Cumulative pointers keep the last value, flags OR, dup-acks
+// sum — nothing is lost by batching.
+func TestAccumulateEquivalentToSequential(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		events := genEvents(raw)
+
+		// Batched: accumulate all events into one row, merge once.
+		var batched TCB
+		var row EventRow
+		for i := range events {
+			row.Accumulate(&events[i])
+		}
+		row.MergeInto(&batched)
+
+		// Sequential oracle: each event in its own row, merged at once.
+		var seq TCB
+		for i := range events {
+			var r EventRow
+			r.Accumulate(&events[i])
+			r.MergeInto(&seq)
+		}
+
+		return batched.In == seq.In
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulateUserOverwrites(t *testing.T) {
+	var r EventRow
+	r.Accumulate(&Event{Kind: EvUser, HasReq: true, Req: 1000})
+	r.Accumulate(&Event{Kind: EvUser, HasReq: true, Req: 1300})
+	if r.Req != 1300 || r.Valid&VReq == 0 {
+		t.Fatalf("REQ should hold the latest pointer: %+v", r)
+	}
+}
+
+func TestAccumulateAckResetsDupCount(t *testing.T) {
+	var r EventRow
+	r.Accumulate(&Event{Kind: EvRx, IsDupAck: true})
+	r.Accumulate(&Event{Kind: EvRx, IsDupAck: true})
+	if r.DupAckInc != 2 {
+		t.Fatalf("dup count = %d, want 2", r.DupAckInc)
+	}
+	// An advancing ACK supersedes the duplicates.
+	r.Accumulate(&Event{Kind: EvRx, HasAck: true, Ack: 500})
+	if r.DupAckInc != 0 || r.Valid&VDupAck != 0 {
+		t.Fatalf("advancing ACK should reset dups: %+v", r)
+	}
+	if r.Valid&VAck == 0 || r.Ack != 500 {
+		t.Fatalf("ack not recorded: %+v", r)
+	}
+}
+
+func TestAccumulateStaleAckIgnored(t *testing.T) {
+	var r EventRow
+	r.Accumulate(&Event{Kind: EvRx, HasAck: true, Ack: 500})
+	r.Accumulate(&Event{Kind: EvRx, HasAck: true, Ack: 400}) // older
+	if r.Ack != 500 {
+		t.Fatalf("stale ack overwrote newer: %d", r.Ack)
+	}
+}
+
+func TestAccumulateFlagsOR(t *testing.T) {
+	var r EventRow
+	r.Accumulate(&Event{Kind: EvRx, RxFlags: RxSYN, SynSeq: 77})
+	r.Accumulate(&Event{Kind: EvRx, RxFlags: RxFIN, FinSeq: 99})
+	if r.RxFlags != RxSYN|RxFIN || r.SynSeq != 77 || r.FinSeq != 99 {
+		t.Fatalf("flag accumulation: %+v", r)
+	}
+	r.Accumulate(&Event{Kind: EvTimeout, Timeouts: TORetrans})
+	r.Accumulate(&Event{Kind: EvTimeout, Timeouts: TOProbe})
+	if r.Timeouts != TORetrans|TOProbe {
+		t.Fatalf("timeout OR: %08b", r.Timeouts)
+	}
+}
+
+func TestMergeClearsRow(t *testing.T) {
+	var r EventRow
+	var tcb TCB
+	r.Accumulate(&Event{Kind: EvUser, HasReq: true, Req: 42})
+	r.MergeInto(&tcb)
+	if !r.Empty() {
+		t.Fatal("merge must clear the valid bits (§4.2.3 step ④)")
+	}
+	if tcb.In.Valid&VReq == 0 || tcb.In.Req != 42 {
+		t.Fatalf("merge lost the event: %+v", tcb.In)
+	}
+}
+
+func TestMergePreservesNewerAck(t *testing.T) {
+	var tcb TCB
+	var r1 EventRow
+	r1.Accumulate(&Event{Kind: EvRx, HasAck: true, Ack: 900})
+	r1.MergeInto(&tcb)
+	// A late row with an older ack must not regress the merged input.
+	var r2 EventRow
+	r2.Accumulate(&Event{Kind: EvRx, HasAck: true, Ack: 800})
+	r2.MergeInto(&tcb)
+	if tcb.In.Ack != 900 {
+		t.Fatalf("merged ack regressed to %d", tcb.In.Ack)
+	}
+}
+
+func TestMergeAckNowSaturates(t *testing.T) {
+	var tcb TCB
+	for i := 0; i < 3; i++ {
+		var r EventRow
+		for j := 0; j < 200; j++ {
+			r.Accumulate(&Event{Kind: EvRx, AckNow: true})
+		}
+		r.MergeInto(&tcb)
+	}
+	if tcb.In.AckNowCnt != 255 {
+		t.Fatalf("AckNowCnt = %d, want saturation at 255", tcb.In.AckNowCnt)
+	}
+}
+
+func TestTCBWindows(t *testing.T) {
+	tcb := TCB{
+		SndUna: 1000, SndNxt: 1500, Req: 2000,
+		Cwnd: 300, SndWnd: 800,
+		RcvNxt: 5000, AppRead: 4900, RcvBuf: 1000,
+	}
+	if got := tcb.InFlight(); got != 500 {
+		t.Errorf("InFlight = %d, want 500", got)
+	}
+	if got := tcb.SndBufBytes(); got != 500 {
+		t.Errorf("SndBufBytes = %d, want 500", got)
+	}
+	if got := tcb.SendLimit(); got != 1300 { // una + min(cwnd, wnd)
+		t.Errorf("SendLimit = %d, want 1300", got)
+	}
+	if got := tcb.AdvertisedWindow(); got != 900 { // 1000 - (5000-4900)
+		t.Errorf("AdvertisedWindow = %d, want 900", got)
+	}
+	tcb.AppRead = tcb.RcvNxt.Sub(2000) // app far behind
+	if got := tcb.AdvertisedWindow(); got != 0 {
+		t.Errorf("overfull window = %d, want 0", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateEstablished.String() != "ESTABLISHED" || StateTimeWait.String() != "TIME_WAIT" {
+		t.Fatal("state names wrong")
+	}
+	if State(200).String() != "UNKNOWN" {
+		t.Fatal("out-of-range state name")
+	}
+}

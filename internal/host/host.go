@@ -1,0 +1,89 @@
+// Package host provides the application-facing view of a machine: CPU
+// cores running application threads that reach the network through
+// either the Linux software TCP stack or the F4T library. Applications
+// (internal/apps) are written once against Thread/Conn and run unchanged
+// on both stacks — the reproduction's equivalent of F4T's unmodified-
+// application property (§4.1.1).
+//
+// Every socket operation is gated on the thread's CPU core and charged
+// per the calibrated cost table, so throughput differences between the
+// stacks emerge from cycle accounting, not from hard-coded ratios.
+package host
+
+import "f4t/internal/cpu"
+
+// ConnEventKind is a readiness notification delivered to the app.
+type ConnEventKind uint8
+
+// Readiness events.
+const (
+	EvConnected ConnEventKind = iota
+	EvAccepted
+	EvReadable
+	EvWritable
+	EvHangup
+)
+
+// ConnEvent pairs an event with its connection.
+type ConnEvent struct {
+	Kind ConnEventKind
+	Conn Conn
+}
+
+// Conn is one connection as the application sees it. TrySend/TryRecv
+// charge CPU cost on the owning thread's core and fail (return 0) when
+// the core is busy, the buffer is full, or the command queue is full —
+// the app retries on its next scheduling opportunity, exactly like a
+// non-blocking socket loop.
+type Conn interface {
+	// TrySend queues up to n bytes (payload may be nil for modelled
+	// transfers) and returns the bytes accepted, charging CPU cost.
+	TrySend(n int, payload []byte) int
+	// TryRecv consumes up to max received bytes, charging CPU cost, and
+	// returns the bytes consumed (payload retrieval is modelled).
+	TryRecv(max int) int
+	// SendQueued is TrySend for work that continues a burst the app has
+	// already begun on its core: the cost queues behind the core's
+	// current work instead of failing (e.g. the response send at the end
+	// of one HTTP request's handling).
+	SendQueued(n int, payload []byte) int
+	// RecvQueued is TryRecv with queued-cost semantics.
+	RecvQueued(max int) int
+	// Available returns in-order bytes ready to consume (no CPU charge —
+	// the app already knows from the readiness event).
+	Available() int
+	// SendSpace returns free send-buffer bytes.
+	SendSpace() int
+	// Close starts an orderly shutdown (charges CPU cost when possible).
+	Close()
+	// Established reports handshake completion.
+	Established() bool
+	// PeerClosed reports a received FIN.
+	PeerClosed() bool
+	// Closed reports full termination.
+	Closed() bool
+}
+
+// Thread is one application thread pinned to one core with its own
+// channel to the stack (per-thread command queues, SO_REUSEPORT — §4.6).
+type Thread interface {
+	// Core returns the CPU core this thread runs on; apps charge their
+	// own application-level work here.
+	Core() *cpu.Core
+	// Dial starts an active open (charges connection-setup cost). It may
+	// return nil when the stack cannot accept a new connection right now
+	// (full command queue); callers retry on a later cycle.
+	Dial(remoteIdx int, port uint16) Conn
+	// Listen registers this thread as an acceptor for the port.
+	Listen(port uint16)
+	// Poll delivers pending readiness events, charging per-event cost.
+	// The returned slice is valid until the next call.
+	Poll() []ConnEvent
+}
+
+// Machine is one host: a set of threads (one per core) on one stack.
+type Machine interface {
+	Threads() []Thread
+	// Pool exposes the CPU pool for utilization accounting.
+	Pool() *cpu.Pool
+}

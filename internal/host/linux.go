@@ -1,0 +1,307 @@
+package host
+
+import (
+	"f4t/internal/cpu"
+	"f4t/internal/sim"
+	"f4t/internal/stack"
+	"f4t/internal/wire"
+)
+
+// LinuxMachine is the baseline comparator (§2.2): the software TCP stack
+// executing on the host cores. Every syscall, packet and byte charges
+// CPU cycles from the calibrated table; RX packets distribute over cores
+// by flow hash (RSS) and wait for their core like softirq work.
+type LinuxMachine struct {
+	k     *sim.Kernel
+	ep    *stack.Endpoint
+	pool  *cpu.Pool
+	costs cpu.Costs
+
+	threads []*linuxThread
+	rxq     []*sim.Queue[*wire.Packet] // per-core NIC queues (RSS)
+	gro     []groTable                 // per-queue GRO flow tables
+	remotes []wire.Addr
+	rng     *sim.Rand // kernel-path timing jitter (Fig 12 tail)
+
+	RxDroppedFull int64
+}
+
+// NewLinuxMachine builds a host with n cores/threads over the software
+// stack. remotes maps Dial's remoteIdx to peer addresses.
+func NewLinuxMachine(k *sim.Kernel, opt stack.Options, n int, costs cpu.Costs, remotes []wire.Addr, tx func(*wire.Packet)) *LinuxMachine {
+	m := &LinuxMachine{
+		k:       k,
+		ep:      stack.New(k, opt, tx),
+		pool:    cpu.NewPool(k, n),
+		costs:   costs,
+		rxq:     make([]*sim.Queue[*wire.Packet], n),
+		remotes: remotes,
+		rng:     sim.NewRand(opt.Seed + 77),
+	}
+	m.gro = make([]groTable, n)
+	for i := 0; i < n; i++ {
+		th := &linuxThread{m: m, idx: i, core: m.pool.Cores[i]}
+		m.threads = append(m.threads, th)
+		m.rxq[i] = sim.NewQueue[*wire.Packet](4096)
+	}
+	return m
+}
+
+// jitter applies the Linux path's timing variance: ±JitterPct plus rare
+// preemption/softirq spikes — the source of the tail in Fig 12.
+func (m *LinuxMachine) jitter(cost int64) int64 {
+	j := m.costs.JitterPct
+	if j > 0 {
+		span := 2 * j
+		cost = cost * (100 - j + m.rng.Int63n(span+1)) / 100
+	}
+	if m.costs.SpikeProb > 0 && m.rng.Bool(m.costs.SpikeProb) {
+		cost += m.costs.SpikeCycles
+	}
+	return cost
+}
+
+// shellCost is the syscall shell, plus half the cold-flow cache penalty
+// (the other half lands inside the TCP stack traversal).
+func (m *LinuxMachine) shellCost(cold bool) int64 {
+	c := m.costs.Syscall
+	if cold {
+		c += m.costs.FlowSwitch / 2
+	}
+	return c
+}
+
+// Endpoint exposes the underlying stack (tests).
+func (m *LinuxMachine) Endpoint() *stack.Endpoint { return m.ep }
+
+// Pool implements Machine.
+func (m *LinuxMachine) Pool() *cpu.Pool { return m.pool }
+
+// Threads implements Machine.
+func (m *LinuxMachine) Threads() []Thread {
+	out := make([]Thread, len(m.threads))
+	for i, t := range m.threads {
+		out[i] = t
+	}
+	return out
+}
+
+// DeliverPacket is the NIC RX entry (attach as the link sink): packets
+// hash to a core's queue and wait for CPU time.
+func (m *LinuxMachine) DeliverPacket(pkt *wire.Packet) {
+	idx := 0
+	if pkt.Kind == wire.KindTCP {
+		idx = int(pkt.Tuple().Hash() % uint64(len(m.rxq)))
+	}
+	if !m.rxq[idx].Push(pkt) {
+		m.RxDroppedFull++
+	}
+}
+
+// Tick advances the machine: each free core drains its RX queue
+// (charging softirq cost per packet) and timers fire.
+func (m *LinuxMachine) Tick(cycle int64) {
+	for i, q := range m.rxq {
+		core := m.pool.Cores[i]
+		for core.Free() {
+			pkt, ok := q.Pop()
+			if !ok {
+				break
+			}
+			cost := m.costs.TCPRxPacket
+			if pkt.Kind == wire.KindTCP {
+				// GRO: packets of recently seen flows merge in the
+				// driver and share the stack traversal [Corbet 2009].
+				if m.gro[i].hit(pkt.Tuple()) {
+					cost = m.costs.TCPRxPacketGRO
+				}
+				if pkt.PayloadLen > 0 {
+					cost += int64((pkt.PayloadLen+63)/64) * m.costs.SkbPerByte
+				}
+			}
+			core.Run(cpu.CatTCP, m.jitter(cost))
+			m.ep.HandlePacket(pkt)
+		}
+	}
+	m.ep.ExpireTimers()
+}
+
+// groTable is a small per-queue LRU of recently merged flows, matching
+// the GRO flow lists NAPI keeps per softirq batch.
+type groTable struct {
+	flows [8]wire.FourTuple
+	used  [8]bool
+	clock int
+}
+
+// hit reports whether the tuple is in the table, inserting it (LRU-ish
+// round-robin replacement) when absent.
+func (g *groTable) hit(t wire.FourTuple) bool {
+	for i := range g.flows {
+		if g.used[i] && g.flows[i] == t {
+			return true
+		}
+	}
+	g.flows[g.clock] = t
+	g.used[g.clock] = true
+	g.clock = (g.clock + 1) % len(g.flows)
+	return false
+}
+
+// linuxThread is one app thread on the Linux stack.
+type linuxThread struct {
+	m    *LinuxMachine
+	idx  int
+	core *cpu.Core
+
+	events   []ConnEvent
+	lastConn *linuxConn // flow-locality tracking (bulk vs cold sends)
+}
+
+// Core implements Thread.
+func (t *linuxThread) Core() *cpu.Core { return t.core }
+
+// Dial implements Thread.
+func (t *linuxThread) Dial(remoteIdx int, port uint16) Conn {
+	t.core.RunQueued(cpu.CatTCP, t.m.costs.TCPConnSetup)
+	c := &linuxConn{th: t}
+	c.inner = t.m.ep.Dial(t.m.remotes[remoteIdx], port)
+	c.hook()
+	return c
+}
+
+// Listen implements Thread.
+func (t *linuxThread) Listen(port uint16) {
+	th := t
+	t.m.ep.Listen(port, func(sc *stack.Conn) {
+		// SO_REUSEPORT-style distribution: the accepting thread is chosen
+		// by flow hash so load spreads over listeners.
+		target := th.m.threads[sc.TCB.Tuple.Hash()%uint64(len(th.m.threads))]
+		c := &linuxConn{th: target, inner: sc}
+		c.hook()
+		target.core.RunQueued(cpu.CatTCP, th.m.costs.TCPConnSetup)
+		target.events = append(target.events, ConnEvent{Kind: EvAccepted, Conn: c})
+	})
+}
+
+// Poll implements Thread: returning events charges the epoll_wait +
+// wakeup path to the kernel bucket.
+func (t *linuxThread) Poll() []ConnEvent {
+	out := t.events
+	t.events = nil
+	if len(out) > 0 {
+		t.core.RunQueued(cpu.CatKernel, t.m.jitter(t.m.costs.EpollWait))
+	}
+	return out
+}
+
+// linuxConn adapts stack.Conn with CPU cost gating.
+type linuxConn struct {
+	th    *linuxThread
+	inner *stack.Conn
+}
+
+func (c *linuxConn) hook() {
+	c.inner.OnEstablished = func() {
+		c.th.events = append(c.th.events, ConnEvent{Kind: EvConnected, Conn: c})
+	}
+	c.inner.OnData = func() {
+		c.th.events = append(c.th.events, ConnEvent{Kind: EvReadable, Conn: c})
+	}
+	c.inner.OnAcked = func() {
+		c.th.events = append(c.th.events, ConnEvent{Kind: EvWritable, Conn: c})
+	}
+	c.inner.OnPeerClosed = func() {
+		c.th.events = append(c.th.events, ConnEvent{Kind: EvHangup, Conn: c})
+	}
+	c.inner.OnClosed = func() {
+		c.th.events = append(c.th.events, ConnEvent{Kind: EvHangup, Conn: c})
+	}
+}
+
+// TrySend implements Conn: a send() syscall through the kernel stack.
+// The syscall shell bills the kernel bucket; the TCP TX work bills the
+// TCP bucket (the split of Figs 1a/11).
+func (c *linuxConn) TrySend(n int, payload []byte) int {
+	if !c.th.core.Free() {
+		return 0
+	}
+	cold := c.th.lastConn != c
+	c.th.core.Run(cpu.CatKernel, c.th.m.jitter(c.th.m.shellCost(cold)))
+	c.th.core.RunQueued(cpu.CatTCP, c.th.m.jitter(c.th.m.costs.LinuxSendTCPCost(n, !cold, cold)))
+	c.th.lastConn = c
+	if payload != nil {
+		return c.inner.Send(payload[:n])
+	}
+	return c.inner.SendModelled(n, nil, nil)
+}
+
+// SendQueued implements Conn: the syscall queues behind current work.
+func (c *linuxConn) SendQueued(n int, payload []byte) int {
+	cold := c.th.lastConn != c
+	c.th.core.RunQueued(cpu.CatKernel, c.th.m.jitter(c.th.m.shellCost(cold)))
+	c.th.core.RunQueued(cpu.CatTCP, c.th.m.jitter(c.th.m.costs.LinuxSendTCPCost(n, !cold, cold)))
+	c.th.lastConn = c
+	if payload != nil {
+		return c.inner.Send(payload[:n])
+	}
+	return c.inner.SendModelled(n, nil, nil)
+}
+
+// RecvQueued implements Conn.
+func (c *linuxConn) RecvQueued(max int) int {
+	n := c.inner.Available()
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return 0
+	}
+	cold := c.th.lastConn != c
+	c.th.core.RunQueued(cpu.CatKernel, c.th.m.jitter(c.th.m.shellCost(cold)))
+	c.th.core.RunQueued(cpu.CatTCP, c.th.m.jitter(c.th.m.costs.LinuxRecvTCPCost(n, cold)))
+	c.th.lastConn = c
+	_, got := c.inner.Recv(n)
+	return got
+}
+
+// TryRecv implements Conn.
+func (c *linuxConn) TryRecv(max int) int {
+	n := c.inner.Available()
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return 0
+	}
+	if !c.th.core.Free() {
+		return 0
+	}
+	cold := c.th.lastConn != c
+	c.th.core.Run(cpu.CatKernel, c.th.m.jitter(c.th.m.shellCost(cold)))
+	c.th.core.RunQueued(cpu.CatTCP, c.th.m.jitter(c.th.m.costs.LinuxRecvTCPCost(n, cold)))
+	c.th.lastConn = c
+	_, got := c.inner.Recv(n)
+	return got
+}
+
+// Available implements Conn.
+func (c *linuxConn) Available() int { return c.inner.Available() }
+
+// SendSpace implements Conn.
+func (c *linuxConn) SendSpace() int { return c.inner.SendSpace() }
+
+// Close implements Conn.
+func (c *linuxConn) Close() {
+	c.th.core.RunQueued(cpu.CatTCP, c.th.m.costs.Syscall)
+	c.inner.Close()
+}
+
+// Established implements Conn.
+func (c *linuxConn) Established() bool { return c.inner.Established }
+
+// PeerClosed implements Conn.
+func (c *linuxConn) PeerClosed() bool { return c.inner.PeerClosed }
+
+// Closed implements Conn.
+func (c *linuxConn) Closed() bool { return c.inner.Closed }

@@ -1,0 +1,127 @@
+package hostif
+
+import "f4t/internal/sim"
+
+// fetchBatch is how many commands FtEngine reads from a queue per DMA
+// fetch ("FtEngine reads multiple commands from each command queue at
+// once", §5.1).
+const fetchBatch = 16
+
+// Channel is one per-thread command/completion queue pair living in
+// hugepage DMA memory (§4.1.1). The host posts commands and polls
+// completions; the device fetches commands over PCIe and DMAs
+// completions back, writing the software doorbell.
+type Channel struct {
+	k        *sim.Kernel
+	pcie     *PCIe
+	cmdBytes int64
+
+	host     *sim.Queue[Command] // posted by host, not yet fetched
+	device   *sim.Queue[Command] // fetched, visible to the engine
+	fetching int                 // DMA reads in flight (pipelined)
+
+	comps *sim.Queue[Completion] // arrived completions, host-visible
+
+	// Stats.
+	Posted    int64
+	Fetched   int64
+	Completed int64
+}
+
+// NewChannel builds a queue pair. cmdBytes is 16 (default) or 8 (the §6
+// PCIe optimization).
+func NewChannel(k *sim.Kernel, pcie *PCIe, cmdBytes int64) *Channel {
+	return &Channel{
+		k:        k,
+		pcie:     pcie,
+		cmdBytes: cmdBytes,
+		host:     sim.NewQueue[Command](QueueDepth),
+		device:   sim.NewQueue[Command](QueueDepth),
+		comps:    sim.NewQueue[Completion](0),
+	}
+}
+
+// Post enqueues a command from the host thread. It reports false when the
+// queue is full (the library must retry — a blocking-API path, §4.6).
+func (c *Channel) Post(cmd Command) bool {
+	if !c.host.Push(cmd) {
+		return false
+	}
+	c.Posted++
+	return true
+}
+
+// HostBacklog returns commands posted but not yet fetched.
+func (c *Channel) HostBacklog() int { return c.host.Len() }
+
+// maxFetchesInFlight is the DMA read pipeline depth: the fetch engine
+// keeps several batch reads outstanding to hide the PCIe latency.
+const maxFetchesInFlight = 4
+
+// TickDevice advances the device-side fetch engine: when commands are
+// posted and the read pipeline has room, DMA-read a batch (PCIe
+// bandwidth + latency apply).
+func (c *Channel) TickDevice() {
+	for c.fetching < maxFetchesInFlight && !c.host.Empty() {
+		n := c.host.Len()
+		if n > fetchBatch {
+			n = fetchBatch
+		}
+		if c.device.Len()+n > QueueDepth {
+			n = QueueDepth - c.device.Len()
+			if n <= 0 {
+				return // device queue full: backpressure to the host queue
+			}
+		}
+		batch := make([]Command, 0, n)
+		for i := 0; i < n; i++ {
+			cmd, _ := c.host.Pop()
+			batch = append(batch, cmd)
+		}
+		c.fetching++
+		done := c.pcie.TransferToDevice(int64(n) * c.cmdBytes)
+		c.k.At(done, func() {
+			for _, cmd := range batch {
+				c.device.Push(cmd)
+			}
+			c.Fetched += int64(len(batch))
+			c.fetching--
+		})
+	}
+}
+
+// PopCommand returns the next fetched command to the engine.
+func (c *Channel) PopCommand() (Command, bool) { return c.device.Pop() }
+
+// PeekCommand lets the engine inspect the next command without consuming
+// it (backpressure: a command is only popped when the scheduler can take
+// its event).
+func (c *Channel) PeekCommand() (Command, bool) { return c.device.Peek() }
+
+// DeviceBacklog returns fetched commands not yet consumed by the engine.
+func (c *Channel) DeviceBacklog() int { return c.device.Len() }
+
+// PushCompletions DMA-writes a batch of completions to the host queue
+// and the software doorbell; they become host-visible after the PCIe
+// transfer completes.
+func (c *Channel) PushCompletions(comps []Completion) {
+	if len(comps) == 0 {
+		return
+	}
+	batch := make([]Completion, len(comps))
+	copy(batch, comps)
+	done := c.pcie.TransferToHost(int64(len(batch)) * CompletionBytes)
+	c.k.At(done, func() {
+		for _, cp := range batch {
+			c.comps.Push(cp)
+		}
+		c.Completed += int64(len(batch))
+	})
+}
+
+// PopCompletion polls the completion queue (the software doorbell path:
+// the library polls memory, §4.1.1).
+func (c *Channel) PopCompletion() (Completion, bool) { return c.comps.Pop() }
+
+// PendingCompletions returns host-visible completions not yet consumed.
+func (c *Channel) PendingCompletions() int { return c.comps.Len() }

@@ -1,0 +1,146 @@
+// Package netsim models the physical network of the evaluation testbed:
+// point-to-point 100 Gbps Ethernet links with byte-accurate serialization
+// (including the 78 B per-packet overhead), propagation delay, and
+// deterministic fault injection (loss, duplication, reordering) for the
+// congestion-control and robustness experiments.
+package netsim
+
+import (
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// Faults configures deterministic fault injection on one pipe direction.
+// Zero value = perfect link.
+type Faults struct {
+	LossProb    float64 // i.i.d. packet drop probability
+	DupProb     float64 // i.i.d. duplication probability
+	ReorderProb float64 // probability of delaying a packet by ReorderNS
+	ReorderNS   int64   // extra delay applied to reordered packets
+	DropEvery   int64   // drop exactly every Nth packet (0 = off); useful
+	// for the Fig 14 "occasional packet drops" runs where determinism
+	// matters more than randomness
+	DropOnce int64 // drop exactly the Nth packet then disarm (0 = off)
+
+	// MarkThresholdNS enables RFC 3168 ECN marking: when the pipe's
+	// serialization backlog exceeds this many nanoseconds, ECN-capable
+	// packets (ECT codepoints) are marked CE instead of queue-dropped —
+	// the switch behaviour DCTCP depends on. 0 disables marking.
+	MarkThresholdNS int64
+}
+
+// Pipe is one direction of a link.
+type Pipe struct {
+	k       *sim.Kernel
+	rate    *sim.ByteRate
+	prop    int64 // propagation delay in cycles
+	deliver func(*wire.Packet)
+	faults  Faults
+	rng     *sim.Rand
+
+	// Stats.
+	SentPkts    int64
+	SentBytes   int64 // wire bytes including all overheads
+	DroppedPkts int64
+	DupPkts     int64
+	ReorderPkts int64
+	MarkedPkts  int64 // CE marks applied (ECN)
+}
+
+// NewPipe builds a unidirectional pipe of the given bandwidth and
+// propagation delay, delivering packets to the given sink.
+func NewPipe(k *sim.Kernel, gbps int64, propNS int64, seed uint64, deliver func(*wire.Packet)) *Pipe {
+	return &Pipe{
+		k:       k,
+		rate:    sim.GbpsRate(gbps),
+		prop:    sim.NSToCycles(propNS),
+		deliver: deliver,
+		rng:     sim.NewRand(seed),
+	}
+}
+
+// SetFaults installs a fault-injection profile.
+func (p *Pipe) SetFaults(f Faults) { p.faults = f }
+
+// SetSink replaces the delivery callback (used when endpoints attach
+// after link construction).
+func (p *Pipe) SetSink(deliver func(*wire.Packet)) { p.deliver = deliver }
+
+// Backlog returns the cycles of queued serialization work.
+func (p *Pipe) Backlog() int64 { return p.rate.Backlog(p.k.Now()) }
+
+// Send serializes the packet onto the wire. Delivery happens after
+// serialization plus propagation; transfers queue behind earlier ones
+// (the link is the shared serial resource the goodput arithmetic of §5.1
+// is about).
+func (p *Pipe) Send(pkt *wire.Packet) {
+	p.SentPkts++
+	wireLen := int64(pkt.WireLen())
+	p.SentBytes += wireLen
+	done := p.rate.Reserve(p.k.Now(), wireLen)
+
+	f := &p.faults
+	if f.DropOnce > 0 {
+		f.DropOnce--
+		if f.DropOnce == 0 {
+			p.DroppedPkts++
+			return
+		}
+	}
+	if f.DropEvery > 0 && p.SentPkts%f.DropEvery == 0 {
+		p.DroppedPkts++
+		return
+	}
+	if f.LossProb > 0 && p.rng.Bool(f.LossProb) {
+		p.DroppedPkts++
+		return
+	}
+
+	// ECN marking: an over-threshold standing queue marks ECN-capable
+	// traffic instead of growing unbounded.
+	if f.MarkThresholdNS > 0 && pkt.Kind == wire.KindTCP &&
+		(pkt.IP.ECN == wire.ECNECT0 || pkt.IP.ECN == wire.ECNECT1) &&
+		p.rate.Backlog(p.k.Now()) > sim.NSToCycles(f.MarkThresholdNS) {
+		marked := *pkt
+		marked.IP.ECN = wire.ECNCE
+		pkt = &marked
+		p.MarkedPkts++
+	}
+
+	at := done + p.prop
+	if f.ReorderProb > 0 && p.rng.Bool(f.ReorderProb) {
+		at += sim.NSToCycles(f.ReorderNS)
+		p.ReorderPkts++
+	}
+	target := pkt
+	p.k.At(at, func() { p.deliver(target) })
+
+	if f.DupProb > 0 && p.rng.Bool(f.DupProb) {
+		p.DupPkts++
+		dup := *pkt
+		p.k.At(at+1, func() { p.deliver(&dup) })
+	}
+}
+
+// Utilization returns the fraction of cycles the pipe has been busy.
+func (p *Pipe) Utilization() float64 {
+	now := p.k.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(p.rate.BusyCycles()) / float64(now)
+}
+
+// Link is a full-duplex point-to-point link between endpoints A and B.
+type Link struct {
+	AtoB *Pipe
+	BtoA *Pipe
+}
+
+// NewLink builds a duplex link; sinks attach afterwards via SetSink.
+func NewLink(k *sim.Kernel, gbps int64, propNS int64, seed uint64) *Link {
+	return &Link{
+		AtoB: NewPipe(k, gbps, propNS, seed*2+1, nil),
+		BtoA: NewPipe(k, gbps, propNS, seed*2+2, nil),
+	}
+}

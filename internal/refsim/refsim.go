@@ -1,0 +1,168 @@
+// Package refsim is the independent reference simulator that plays NS3's
+// role in Figure 14: a deliberately separate, packet-level, single-flow
+// TCP congestion model written directly from the RFC prose (floating
+// point arithmetic, no shared code with the F4T protocol engine), so
+// agreement between the two implementations is evidence, not tautology.
+package refsim
+
+import "math"
+
+// Params configures one bulk-transfer run.
+type Params struct {
+	Alg       string  // "newreno" or "cubic"
+	MSS       int     // payload bytes per segment
+	RTTns     int64   // base round-trip time
+	RateBps   float64 // bottleneck rate, bits/s
+	DropEvery int64   // drop every Nth data packet (0 = none)
+	DurationNS int64
+	SampleNS   int64 // cwnd sampling period
+}
+
+// Sample is one cwnd observation.
+type Sample struct {
+	AtNS int64
+	Cwnd float64 // bytes
+}
+
+// state is the sender model.
+type state struct {
+	p        Params
+	now      int64
+	cwnd     float64 // segments
+	ssthresh float64
+	inFlight int64
+	sent     int64 // data packets sent (for the drop pattern)
+	dupAcks  int
+	inRecovery bool
+	recoverPoint int64 // packet number that ends recovery
+
+	// CUBIC state.
+	wMax       float64
+	epochStart int64
+
+	nextSeq   int64 // next packet number to send
+	highestAcked int64
+	lost      map[int64]bool
+
+	samples []Sample
+}
+
+// Run simulates the transfer and returns the cwnd trace.
+func Run(p Params) []Sample {
+	if p.MSS == 0 {
+		p.MSS = 1460
+	}
+	s := &state{
+		p:        p,
+		cwnd:     10,
+		ssthresh: math.MaxFloat64 / 4,
+		lost:     make(map[int64]bool),
+		highestAcked: -1,
+	}
+	packetNS := float64(p.MSS*8) / p.RateBps * 1e9
+
+	nextSample := int64(0)
+	for s.now < p.DurationNS {
+		if s.now >= nextSample {
+			s.samples = append(s.samples, Sample{AtNS: s.now, Cwnd: s.cwnd * float64(p.MSS)})
+			nextSample += p.SampleNS
+		}
+		// Send while the window allows.
+		for float64(s.inFlight) < s.cwnd {
+			s.sent++
+			if p.DropEvery > 0 && s.sent%p.DropEvery == 0 {
+				s.lost[s.nextSeq] = true
+			}
+			s.nextSeq++
+			s.inFlight++
+		}
+		// Advance one packet service time; one ACK (or loss signal)
+		// returns per serviced packet, RTT-delayed. This fluid-ish
+		// treatment keeps the model simple while preserving the
+		// window dynamics the figure compares.
+		s.now += int64(packetNS)
+		s.ackOne()
+	}
+	return s.samples
+}
+
+// ackOne models the arrival of feedback for the oldest outstanding
+// packet.
+func (s *state) ackOne() {
+	if s.inFlight == 0 {
+		return
+	}
+	pkt := s.highestAcked + 1
+	if s.lost[pkt] {
+		// Three duplicate ACKs arrive as later packets are delivered.
+		s.dupAcks++
+		if s.dupAcks >= 3 && !s.inRecovery {
+			s.inRecovery = true
+			s.recoverPoint = s.nextSeq
+			s.enterLoss()
+			delete(s.lost, pkt) // fast retransmit repairs it one RTT later
+		}
+		if s.dupAcks > 3 {
+			// Retransmission arrived: the cumulative ACK jumps.
+			delete(s.lost, pkt)
+			s.dupAcks = 0
+		}
+		return
+	}
+	s.highestAcked = pkt
+	s.inFlight--
+	s.dupAcks = 0
+	if s.inRecovery && pkt >= s.recoverPoint {
+		s.inRecovery = false
+		s.cwnd = s.ssthresh
+	}
+	if !s.inRecovery {
+		s.grow()
+	}
+}
+
+// enterLoss applies the multiplicative decrease of the configured
+// algorithm.
+func (s *state) enterLoss() {
+	switch s.p.Alg {
+	case "cubic":
+		s.wMax = s.cwnd
+		s.cwnd *= 0.7
+		s.ssthresh = s.cwnd
+		s.epochStart = 0
+	default: // newreno
+		s.ssthresh = math.Max(s.cwnd/2, 2)
+		s.cwnd = s.ssthresh
+	}
+	if s.cwnd < 2 {
+		s.cwnd = 2
+	}
+}
+
+// grow applies per-ACK window growth.
+func (s *state) grow() {
+	if s.cwnd < s.ssthresh {
+		s.cwnd++
+		return
+	}
+	switch s.p.Alg {
+	case "cubic":
+		if s.epochStart == 0 {
+			s.epochStart = s.now
+			if s.wMax < s.cwnd {
+				s.wMax = s.cwnd
+			}
+		}
+		const c = 0.4
+		k := math.Cbrt(s.wMax * 0.3 / c) // seconds
+		t := float64(s.now-s.epochStart)/1e9 + float64(s.p.RTTns)/1e9
+		target := s.wMax + c*math.Pow(t-k, 3)
+		if target > s.cwnd {
+			s.cwnd += (target - s.cwnd) / s.cwnd
+		} else {
+			s.cwnd += 0.01 / s.cwnd
+		}
+	default: // newreno congestion avoidance
+		s.cwnd += 1 / s.cwnd
+	}
+}

@@ -1,0 +1,67 @@
+package refsim
+
+import "testing"
+
+func run(alg string, drop int64) []Sample {
+	return Run(Params{
+		Alg: alg, MSS: 1460, RTTns: 3000, RateBps: 100e9,
+		DropEvery: drop, DurationNS: 20_000_000, SampleNS: 100_000,
+	})
+}
+
+func epochs(s []Sample) int {
+	n := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].Cwnd < 0.8*s[i-1].Cwnd {
+			n++
+		}
+	}
+	return n
+}
+
+func TestLosslessGrowsMonotonically(t *testing.T) {
+	s := run("newreno", 0)
+	for i := 1; i < len(s); i++ {
+		if s[i].Cwnd < s[i-1].Cwnd {
+			t.Fatalf("cwnd shrank without loss at sample %d", i)
+		}
+	}
+}
+
+func TestPeriodicLossMakesSawtooth(t *testing.T) {
+	for _, alg := range []string{"newreno", "cubic"} {
+		s := run(alg, 2000)
+		if e := epochs(s); e < 3 {
+			t.Errorf("%s: only %d loss epochs — no sawtooth", alg, e)
+		}
+		// The window must stay bounded (the sawtooth regulates it).
+		for _, v := range s {
+			if v.Cwnd > 512*1460*100 {
+				t.Errorf("%s: cwnd diverged to %.0f", alg, v.Cwnd)
+			}
+		}
+	}
+}
+
+func TestCubicDecreaseGentlerThanReno(t *testing.T) {
+	// CUBIC's beta=0.7 vs Reno's 0.5: post-loss windows retain more.
+	reno := run("newreno", 3000)
+	cubic := run("cubic", 3000)
+	mean := func(s []Sample) float64 {
+		var x float64
+		for _, v := range s {
+			x += v.Cwnd
+		}
+		return x / float64(len(s))
+	}
+	if mean(cubic) <= mean(reno) {
+		t.Errorf("cubic mean cwnd %.0f ≤ reno %.0f — beta difference lost", mean(cubic), mean(reno))
+	}
+}
+
+func TestSamplingCadence(t *testing.T) {
+	s := run("newreno", 0)
+	if len(s) < 190 || len(s) > 210 {
+		t.Fatalf("%d samples for 20 ms at 100 us cadence", len(s))
+	}
+}

@@ -1,0 +1,56 @@
+package resource
+
+import "testing"
+
+func TestCompositionMatchesPaperTotals(t *testing.T) {
+	// Fig 7b: FtEngine-1FPC = 16 % LUT / 11 % FF / 27 % BRAM,
+	// FtEngine-8FPC = 23 % / 15 % / 32 %; allow ±1.5 points.
+	check := func(name string, u Usage, wantLUT, wantFF, wantBRAM float64) {
+		l, f, b := u.Pct()
+		for _, c := range []struct {
+			got, want float64
+			what      string
+		}{{l, wantLUT, "LUT"}, {f, wantFF, "FF"}, {b, wantBRAM, "BRAM"}} {
+			if c.got < c.want-1.5 || c.got > c.want+1.5 {
+				t.Errorf("%s %s = %.1f%%, paper %.0f%%", name, c.what, c.got, c.want)
+			}
+		}
+	}
+	check("1 FPC", FtEngine(1), 16, 11, 27)
+	check("8 FPC", FtEngine(8), 23, 15, 32)
+}
+
+func TestScalingIsPerFPCLinear(t *testing.T) {
+	d := FtEngine(8).LUTs - FtEngine(1).LUTs
+	if d != 7*FPCUnit.LUTs {
+		t.Fatalf("8−1 FPC LUT delta = %d, want %d", d, 7*FPCUnit.LUTs)
+	}
+}
+
+func TestComponentsSumToComposition(t *testing.T) {
+	var sum Usage
+	for _, c := range Components() {
+		if c.Name == "FPC (each)" {
+			sum = sum.Add(c.Usage.Scale(8))
+		} else {
+			sum = sum.Add(c.Usage)
+		}
+	}
+	if sum != FtEngine(8) {
+		t.Fatalf("component sum %+v != composition %+v", sum, FtEngine(8))
+	}
+}
+
+func TestFitsOnU280WithRoom(t *testing.T) {
+	// §4.7: "the remaining logic can be used to implement complex
+	// algorithms, more FPCs, or other networking functionalities."
+	l, f, b := FtEngine(8).Pct()
+	if l > 50 || f > 50 || b > 50 {
+		t.Fatalf("8-FPC design leaves no headroom: %.0f/%.0f/%.0f%%", l, f, b)
+	}
+	// Even 32 FPCs must fit (the scaling claim of §4.4.2).
+	l32, _, b32 := FtEngine(32).Pct()
+	if l32 > 100 || b32 > 100 {
+		t.Fatalf("32 FPCs do not fit: %.0f%% LUT %.0f%% BRAM", l32, b32)
+	}
+}

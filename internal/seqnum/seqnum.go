@@ -1,0 +1,53 @@
+// Package seqnum implements RFC 793 TCP sequence-number arithmetic:
+// 32-bit values compared modulo 2^32, valid whenever the compared values
+// are within half the sequence space of each other.
+package seqnum
+
+// Value is a TCP sequence number.
+type Value uint32
+
+// Size is a length in the sequence space.
+type Size uint32
+
+// Add returns v advanced by s, wrapping modulo 2^32.
+func (v Value) Add(s Size) Value { return v + Value(s) }
+
+// Sub returns v moved back by s, wrapping modulo 2^32.
+func (v Value) Sub(s Size) Value { return v - Value(s) }
+
+// LessThan reports v < w in modular arithmetic.
+func (v Value) LessThan(w Value) bool { return int32(v-w) < 0 }
+
+// LessThanEq reports v <= w in modular arithmetic.
+func (v Value) LessThanEq(w Value) bool { return v == w || v.LessThan(w) }
+
+// GreaterThan reports v > w in modular arithmetic.
+func (v Value) GreaterThan(w Value) bool { return int32(v-w) > 0 }
+
+// GreaterThanEq reports v >= w in modular arithmetic.
+func (v Value) GreaterThanEq(w Value) bool { return v == w || v.GreaterThan(w) }
+
+// InWindow reports whether v lies in [first, first+size).
+func (v Value) InWindow(first Value, size Size) bool {
+	return v.GreaterThanEq(first) && v.LessThan(first.Add(size))
+}
+
+// DistanceFrom returns the number of bytes from w to v (v - w). The result
+// is meaningful when v >= w in modular order.
+func (v Value) DistanceFrom(w Value) Size { return Size(v - w) }
+
+// Max returns the modular maximum of v and w.
+func Max(v, w Value) Value {
+	if v.GreaterThan(w) {
+		return v
+	}
+	return w
+}
+
+// Min returns the modular minimum of v and w.
+func Min(v, w Value) Value {
+	if v.LessThan(w) {
+		return v
+	}
+	return w
+}

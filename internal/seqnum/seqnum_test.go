@@ -1,0 +1,105 @@
+package seqnum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWraparoundComparisons(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		less bool
+	}{
+		{0, 1, true},
+		{1, 0, false},
+		{0xFFFFFFFF, 0, true},  // wrap: max < 0
+		{0, 0xFFFFFFFF, false}, // and not the reverse
+		{0x7FFFFFFF, 0x80000000, true},
+		{100, 100, false},
+	}
+	for _, c := range cases {
+		if got := c.a.LessThan(c.b); got != c.less {
+			t.Errorf("%d < %d = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint32, s uint32) bool {
+		val := Value(v)
+		sz := Size(s)
+		return val.Add(sz).Sub(sz) == val
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Within half the sequence space, Add must preserve order — the RFC 793
+// validity condition.
+func TestAddPreservesOrderWithinWindow(t *testing.T) {
+	err := quick.Check(func(v uint32, delta uint32) bool {
+		d := Size(delta % 0x7FFFFFFF)
+		if d == 0 {
+			return true
+		}
+		val := Value(v)
+		return val.Add(d).GreaterThan(val) && val.LessThan(val.Add(d))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInWindow(t *testing.T) {
+	if !Value(10).InWindow(5, 10) {
+		t.Error("10 should be in [5,15)")
+	}
+	if Value(15).InWindow(5, 10) {
+		t.Error("15 should not be in [5,15)")
+	}
+	if !Value(2).InWindow(0xFFFFFFF0, 32) {
+		t.Error("2 should be in the wrapped window [0xFFFFFFF0, 0x10)")
+	}
+	if Value(0xFFFFFFEF).InWindow(0xFFFFFFF0, 32) {
+		t.Error("value before the window start accepted")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Value(100).DistanceFrom(60); d != 40 {
+		t.Errorf("distance = %d, want 40", d)
+	}
+	if d := Value(5).DistanceFrom(0xFFFFFFFB); d != 10 {
+		t.Errorf("wrapped distance = %d, want 10", d)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(Value(0xFFFFFFFF), Value(3)) != 3 {
+		t.Error("modular max across wrap")
+	}
+	if Min(Value(0xFFFFFFFF), Value(3)) != 0xFFFFFFFF {
+		t.Error("modular min across wrap")
+	}
+}
+
+// Trichotomy: exactly one of <, ==, > holds for values within half the
+// space of each other.
+func TestTrichotomy(t *testing.T) {
+	err := quick.Check(func(a uint32, deltaRaw uint32) bool {
+		delta := deltaRaw % 0x7FFFFFFF
+		x, y := Value(a), Value(a+delta)
+		lt, gt, eq := x.LessThan(y), x.GreaterThan(y), x == y
+		n := 0
+		for _, b := range []bool{lt, gt, eq} {
+			if b {
+				n++
+			}
+		}
+		return n == 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+// Queue is a bounded FIFO used to model hardware queues (command queues,
+// coalesce FIFOs, pending queues). Capacity 0 means unbounded.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	cap  int
+}
+
+// NewQueue returns a FIFO with the given capacity (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && q.Len() >= q.cap }
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+
+// Push appends v and reports whether it was accepted (false when full).
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf = append(q.buf, v)
+	return true
+}
+
+// Pop removes and returns the oldest element. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.Empty() {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // allow GC of the element
+	q.head++
+	// Compact when the dead prefix dominates, amortized O(1).
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.Empty() {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// Scan calls fn for each queued element in FIFO order until fn returns
+// false. The callback may mutate elements through the pointer; this is how
+// the coalesce FIFOs merge an incoming event into a queued one.
+func (q *Queue[T]) Scan(fn func(*T) bool) {
+	for i := q.head; i < len(q.buf); i++ {
+		if !fn(&q.buf[i]) {
+			return
+		}
+	}
+}
+
+// Reset discards all elements.
+func (q *Queue[T]) Reset() {
+	q.buf = q.buf[:0]
+	q.head = 0
+}

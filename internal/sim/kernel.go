@@ -1,0 +1,150 @@
+// Package sim provides the deterministic discrete-time simulation kernel
+// used by every F4T model: a 250 MHz tick clock, component registry,
+// cycle-resolution timers, seeded randomness and rate limiters.
+//
+// All simulated hardware advances in units of one engine clock cycle
+// (4 ns at 250 MHz). Components implement Ticker and are stepped once per
+// cycle in registration order, which keeps runs bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// CycleNS is the duration of one engine clock cycle in nanoseconds.
+// FtEngine operates at 250 MHz (paper §4.1).
+const CycleNS = 4
+
+// FrequencyHz is the engine clock frequency.
+const FrequencyHz = 250_000_000
+
+// Ticker is a hardware component stepped once per simulated cycle.
+type Ticker interface {
+	// Tick advances the component by one cycle. The current cycle number
+	// is passed for convenience; it increases by exactly one per call.
+	Tick(cycle int64)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(cycle int64)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(cycle int64) { f(cycle) }
+
+// timerEvent is a scheduled callback ordered by cycle then sequence.
+type timerEvent struct {
+	cycle int64
+	seq   int64 // insertion order breaks ties deterministically
+	fn    func()
+}
+
+type timerHeap []timerEvent
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the simulation driver. The zero value is not usable; call New.
+type Kernel struct {
+	cycle   int64
+	tickers []Ticker
+	timers  timerHeap
+	seq     int64
+	stopped bool
+}
+
+// New returns an empty kernel positioned at cycle 0.
+func New() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current cycle number.
+func (k *Kernel) Now() int64 { return k.cycle }
+
+// NowNS returns the current simulated time in nanoseconds.
+func (k *Kernel) NowNS() int64 { return k.cycle * CycleNS }
+
+// Register adds a component to the per-cycle tick list. Components tick
+// in registration order every cycle.
+func (k *Kernel) Register(t Ticker) {
+	k.tickers = append(k.tickers, t)
+}
+
+// At schedules fn to run at the start of the given absolute cycle,
+// before components tick. Scheduling in the past (or present) runs the
+// callback on the next Step.
+func (k *Kernel) At(cycle int64, fn func()) {
+	if cycle <= k.cycle {
+		cycle = k.cycle + 1
+	}
+	k.seq++
+	heap.Push(&k.timers, timerEvent{cycle: cycle, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delta cycles from now (minimum 1).
+func (k *Kernel) After(delta int64, fn func()) {
+	if delta < 1 {
+		delta = 1
+	}
+	k.At(k.cycle+delta, fn)
+}
+
+// Stop requests that Run return at the end of the current cycle.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step advances the simulation by exactly one cycle: due timers fire
+// first, then every registered component ticks once.
+func (k *Kernel) Step() {
+	k.cycle++
+	for len(k.timers) > 0 && k.timers[0].cycle <= k.cycle {
+		ev := heap.Pop(&k.timers).(timerEvent)
+		ev.fn()
+	}
+	for _, t := range k.tickers {
+		t.Tick(k.cycle)
+	}
+}
+
+// Run advances the simulation by n cycles, or until Stop is called.
+func (k *Kernel) Run(n int64) {
+	k.stopped = false
+	for i := int64(0); i < n && !k.stopped; i++ {
+		k.Step()
+	}
+}
+
+// RunUntil advances the simulation until the predicate returns true or
+// the cycle budget is exhausted. It reports whether the predicate fired.
+func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
+	for i := int64(0); i < budget; i++ {
+		if pred() {
+			return true
+		}
+		k.Step()
+	}
+	return pred()
+}
+
+// NSToCycles converts a nanosecond duration to cycles, rounding up.
+func NSToCycles(ns int64) int64 {
+	return (ns + CycleNS - 1) / CycleNS
+}
+
+// String describes the kernel state, mostly for test failure messages.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("sim.Kernel{cycle=%d tickers=%d timers=%d}", k.cycle, len(k.tickers), len(k.timers))
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelTickOrder(t *testing.T) {
+	k := New()
+	var log []int
+	k.Register(TickerFunc(func(int64) { log = append(log, 1) }))
+	k.Register(TickerFunc(func(int64) { log = append(log, 2) }))
+	k.Run(3)
+	want := []int{1, 2, 1, 2, 1, 2}
+	if len(log) != len(want) {
+		t.Fatalf("log length = %d, want %d", len(log), len(want))
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("tick order broke at %d: %v", i, log)
+		}
+	}
+}
+
+func TestKernelTimersFireInOrder(t *testing.T) {
+	k := New()
+	var fired []int64
+	k.At(5, func() { fired = append(fired, 5) })
+	k.At(3, func() { fired = append(fired, 3) })
+	k.At(3, func() { fired = append(fired, 30) }) // same cycle: insertion order
+	k.Run(10)
+	if len(fired) != 3 || fired[0] != 3 || fired[1] != 30 || fired[2] != 5 {
+		t.Fatalf("timer order = %v", fired)
+	}
+}
+
+func TestKernelAtPastRunsNext(t *testing.T) {
+	k := New()
+	k.Run(10)
+	ran := false
+	k.At(2, func() { ran = true }) // in the past
+	k.Step()
+	if !ran {
+		t.Fatal("past-scheduled timer did not run on the next step")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := New()
+	k.Register(TickerFunc(func(c int64) {
+		if c == 5 {
+			k.Stop()
+		}
+	}))
+	k.Run(100)
+	if k.Now() != 5 {
+		t.Fatalf("stopped at %d, want 5", k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	if !k.RunUntil(func() bool { return k.Now() >= 7 }, 100) {
+		t.Fatal("predicate never held")
+	}
+	if k.Now() != 7 {
+		t.Fatalf("stopped at %d, want 7", k.Now())
+	}
+	if k.RunUntil(func() bool { return false }, 10) {
+		t.Fatal("impossible predicate reported true")
+	}
+}
+
+func TestNSToCycles(t *testing.T) {
+	cases := []struct{ ns, want int64 }{
+		{0, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {1000, 250},
+	}
+	for _, c := range cases {
+		if got := NSToCycles(c.ns); got != c.want {
+			t.Errorf("NSToCycles(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestByteRateSerializes(t *testing.T) {
+	b := GbpsRate(100) // 50 B/cycle
+	done1 := b.Reserve(0, 500)
+	if done1 != 10 {
+		t.Fatalf("500 B at 50 B/cycle finished at %d, want 10", done1)
+	}
+	done2 := b.Reserve(0, 500) // queues behind the first
+	if done2 != 20 {
+		t.Fatalf("second transfer finished at %d, want 20", done2)
+	}
+	done3 := b.Reserve(100, 50) // idle gap: starts at 100
+	if done3 != 101 {
+		t.Fatalf("third transfer finished at %d, want 101", done3)
+	}
+}
+
+func TestByteRateRational(t *testing.T) {
+	b := NewByteRate(1, 3) // one byte per three cycles
+	if got := b.CyclesFor(10); got != 30 {
+		t.Fatalf("CyclesFor(10) = %d, want 30", got)
+	}
+}
+
+func TestGBpsRate(t *testing.T) {
+	b := GBpsRate(38) // 152 B/cycle
+	if got := b.CyclesFor(152); got != 1 {
+		t.Fatalf("152 B should take 1 cycle, got %d", got)
+	}
+	if got := b.CyclesFor(153); got != 2 {
+		t.Fatalf("153 B should take 2 cycles, got %d", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](3)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatal("push beyond capacity accepted")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := NewQueue[int](0)
+	// Push/pop far beyond the compaction threshold; order must hold.
+	n := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 50; i++ {
+			q.Push(n + i)
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := q.Pop()
+			if !ok || v != n+i {
+				t.Fatalf("round %d: pop = %d,%v want %d", round, v, ok, n+i)
+			}
+		}
+		n += 50
+	}
+}
+
+func TestQueueScanMutate(t *testing.T) {
+	q := NewQueue[int](0)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3)
+	q.Scan(func(v *int) bool {
+		if *v == 2 {
+			*v = 20
+			return false
+		}
+		return true
+	})
+	q.Pop()
+	v, _ := q.Pop()
+	if v != 20 {
+		t.Fatalf("scan mutation lost: got %d", v)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds agree %d/100 times", same)
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(7)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		f := r.Float64()
+		return v >= 0 && v < n && f >= 0 && f < 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(9)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Snapshot(0)
+	c.Add(250) // 250 events over the window
+	// 250 events in 250M cycles = 1 second → 250 events/s.
+	if got := c.RatePerSecond(FrequencyHz); got != 250 {
+		t.Fatalf("rate = %v, want 250", got)
+	}
+	if c.Since() != 250 {
+		t.Fatalf("since = %d", c.Since())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	if m := h.Median(); m != 50 {
+		t.Errorf("median = %d, want 50", m)
+	}
+	if p := h.P99(); p != 99 {
+		t.Errorf("p99 = %d, want 99", p)
+	}
+	if mean := h.Mean(); mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", mean)
+	}
+	var empty Histogram
+	if empty.Median() != 0 || empty.P99() != 0 {
+		t.Error("empty histogram quantiles should be 0")
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event counter with an optional
+// warmup snapshot so steady-state rates exclude ramp-up.
+type Counter struct {
+	total    int64
+	snapshot int64
+	snapAt   int64 // cycle of the snapshot
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.total += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.total++ }
+
+// Total returns the all-time count.
+func (c *Counter) Total() int64 { return c.total }
+
+// Snapshot records the current count and cycle; RateSince measures from it.
+func (c *Counter) Snapshot(cycle int64) {
+	c.snapshot = c.total
+	c.snapAt = cycle
+}
+
+// Since returns the count accumulated since the last Snapshot.
+func (c *Counter) Since() int64 { return c.total - c.snapshot }
+
+// RatePerSecond returns events per simulated second since the snapshot.
+func (c *Counter) RatePerSecond(cycle int64) float64 {
+	d := cycle - c.snapAt
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.total-c.snapshot) * float64(FrequencyHz) / float64(d)
+}
+
+// Histogram collects int64 samples (typically latencies in nanoseconds)
+// and reports order statistics. It stores raw samples; experiments here
+// collect at most a few hundred thousand.
+type Histogram struct {
+	samples []int64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the samples, or 0 when
+// empty. Uses the nearest-rank method.
+func (h *Histogram) Quantile(q float64) int64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	idx := int(q*float64(len(h.samples))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Median returns the 50th percentile.
+func (h *Histogram) Median() int64 { return h.Quantile(0.50) }
+
+// P99 returns the 99th percentile.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range h.samples {
+		s += v
+	}
+	return float64(s) / float64(len(h.samples))
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() { h.samples, h.sorted = h.samples[:0], false }
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%d p99=%d mean=%.1f", h.Count(), h.Median(), h.P99(), h.Mean())
+}

@@ -1,0 +1,336 @@
+// Package softstack models the F4T library and runtime (§4.1.1, §4.6):
+// the userspace layer that turns POSIX-style socket calls into 16 B
+// commands on per-thread queues, polls completion queues (the software
+// doorbell), maintains the small amount of host-side metadata (window
+// pointers), and surfaces epoll-style readiness events.
+//
+// One Lib instance corresponds to one application thread and owns one
+// command/completion queue pair, so the stack shares nothing across
+// threads and needs no locks (§4.6).
+package softstack
+
+import (
+	"f4t/internal/engine"
+	"f4t/internal/flow"
+	"f4t/internal/hostif"
+	"f4t/internal/seqnum"
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// EventKind is an epoll-style readiness event.
+type EventKind uint8
+
+// Readiness events surfaced by Poll.
+const (
+	EvReadable EventKind = iota // new in-order data available
+	EvWritable                  // send-buffer space released
+	EvAccepted                  // new passive connection established
+	EvConnected                 // active connect finished
+	EvHangup                    // peer closed or reset
+)
+
+// Event is one epoll entry (the library's internal linked list of
+// events, §4.1.1).
+type Event struct {
+	Kind EventKind
+	Sock *Socket
+}
+
+// Lib is one thread's F4T library instance.
+type Lib struct {
+	k     *sim.Kernel
+	eng   *engine.Engine
+	ch    *hostif.Channel
+	chIdx int
+
+	socks     map[flow.ID]*Socket
+	dialWait  map[uint16]*Socket // local port → socket awaiting CompAccepted
+	listeners map[uint16]bool
+	nextPort  uint16
+
+	events []Event
+
+	// Stats.
+	CmdsPosted     int64
+	CompsProcessed int64
+	PostFailures   int64 // full command queue (blocking-API path)
+}
+
+// NewLib binds a library instance to channel chIdx of the engine.
+func NewLib(k *sim.Kernel, eng *engine.Engine, chIdx int) *Lib {
+	return &Lib{
+		k:         k,
+		eng:       eng,
+		ch:        eng.Channels[chIdx],
+		chIdx:     chIdx,
+		socks:     make(map[flow.ID]*Socket),
+		dialWait:  make(map[uint16]*Socket),
+		listeners: make(map[uint16]bool),
+		nextPort:  uint16(10000 + chIdx*2000),
+	}
+}
+
+// post sends one command, tracking queue-full back-offs.
+func (l *Lib) post(cmd hostif.Command) bool {
+	if !l.ch.Post(cmd) {
+		l.PostFailures++
+		return false
+	}
+	l.CmdsPosted++
+	return true
+}
+
+// Listen registers this thread as an acceptor for the port
+// (SO_REUSEPORT: several threads may listen on the same port, §4.6).
+func (l *Lib) Listen(port uint16) {
+	l.listeners[port] = true
+	l.post(hostif.Command{Op: hostif.OpListen, LocalPort: port})
+}
+
+// Dial starts an active open and returns the socket (not yet
+// established; poll for EvConnected). It returns nil when the command
+// queue is full — the caller retries, as a blocking connect() would.
+func (l *Lib) Dial(remote wire.Addr, remotePort uint16) *Socket {
+	l.nextPort++
+	s := &Socket{lib: l, localPort: l.nextPort}
+	if !l.post(hostif.Command{
+		Op:         hostif.OpConnect,
+		LocalPort:  l.nextPort,
+		RemoteAddr: remote,
+		RemotePort: remotePort,
+	}) {
+		return nil
+	}
+	l.dialWait[l.nextPort] = s
+	return s
+}
+
+// Poll drains the completion queue (polling the software doorbell,
+// §4.1.1), updates socket state, and returns every readiness event
+// accumulated since the previous take (including those drained earlier
+// via PollOne).
+func (l *Lib) Poll() []Event {
+	for {
+		comp, ok := l.ch.PopCompletion()
+		if !ok {
+			break
+		}
+		l.CompsProcessed++
+		l.apply(comp)
+	}
+	return l.TakeEvents()
+}
+
+// PollOne consumes a single completion; used by CPU-costed drivers that
+// charge per completion. It reports whether one was available.
+func (l *Lib) PollOne() bool {
+	comp, ok := l.ch.PopCompletion()
+	if !ok {
+		return false
+	}
+	l.CompsProcessed++
+	l.apply(comp)
+	return true
+}
+
+// PendingCompletions exposes the completion backlog.
+func (l *Lib) PendingCompletions() int { return l.ch.PendingCompletions() }
+
+// TakeEvents returns the readiness events accumulated by PollOne calls
+// since the last take, clearing the list. CPU-costed drivers pair PollOne
+// (charged per completion) with TakeEvents (free — the events were
+// already paid for).
+func (l *Lib) TakeEvents() []Event {
+	out := l.events
+	l.events = nil
+	return out
+}
+
+func (l *Lib) apply(comp hostif.Completion) {
+	switch comp.Kind {
+	case hostif.CompAccepted:
+		// Correlate an active open's hardware flow ID by local port.
+		if s := l.dialWait[comp.Port]; s != nil {
+			delete(l.dialWait, comp.Port)
+			s.ID = comp.Flow
+			s.bound = true
+			l.socks[comp.Flow] = s
+		}
+	case hostif.CompEstablished:
+		s := l.socks[comp.Flow]
+		if s == nil {
+			// Passive connection dispatched to this thread's queue.
+			if !l.listeners[comp.Port] {
+				return
+			}
+			s = &Socket{lib: l, ID: comp.Flow, localPort: comp.Port, bound: true, passive: true}
+			l.socks[comp.Flow] = s
+		}
+		s.anchor(comp.Seq, comp.Seq2)
+		s.Established = true
+		if s.passive {
+			l.events = append(l.events, Event{Kind: EvAccepted, Sock: s})
+		} else {
+			l.events = append(l.events, Event{Kind: EvConnected, Sock: s})
+		}
+	case hostif.CompAcked:
+		if s := l.socks[comp.Flow]; s != nil {
+			s.ackedTo = comp.Seq
+			l.events = append(l.events, Event{Kind: EvWritable, Sock: s})
+		}
+	case hostif.CompDelivered:
+		if s := l.socks[comp.Flow]; s != nil {
+			s.deliveredTo = comp.Seq
+			l.events = append(l.events, Event{Kind: EvReadable, Sock: s})
+		}
+	case hostif.CompPeerClosed:
+		if s := l.socks[comp.Flow]; s != nil {
+			s.PeerClosed = true
+			l.events = append(l.events, Event{Kind: EvHangup, Sock: s})
+		}
+	case hostif.CompClosed:
+		if s := l.socks[comp.Flow]; s != nil {
+			s.Closed = true
+			delete(l.socks, comp.Flow)
+			l.events = append(l.events, Event{Kind: EvHangup, Sock: s})
+		}
+	case hostif.CompReset:
+		if s := l.socks[comp.Flow]; s != nil {
+			s.WasReset = true
+			s.Closed = true
+			delete(l.socks, comp.Flow)
+			l.events = append(l.events, Event{Kind: EvHangup, Sock: s})
+		}
+	}
+}
+
+// Socket is the host-side connection handle: the window-pointer metadata
+// the library keeps ("only a handful amount of metadata, such as TCP
+// window pointers, are stored and managed in the software", §4.1.1).
+type Socket struct {
+	lib *Lib
+	ID  flow.ID
+
+	localPort uint16
+	bound     bool
+	passive   bool
+	anchored  bool
+
+	writePtr    seqnum.Value // next send byte the app will queue
+	ackedTo     seqnum.Value // device-released send boundary
+	readPtr     seqnum.Value // next received byte the app will consume
+	deliveredTo seqnum.Value // device-announced in-order boundary
+
+	Established bool
+	PeerClosed  bool
+	Closed      bool
+	WasReset    bool
+	closeSent   bool
+}
+
+func (s *Socket) anchor(sndBase, rcvBase seqnum.Value) {
+	if s.anchored {
+		return
+	}
+	s.anchored = true
+	s.writePtr = sndBase
+	s.ackedTo = sndBase
+	s.readPtr = rcvBase
+	s.deliveredTo = rcvBase
+}
+
+// SendSpace returns free send-buffer bytes.
+func (s *Socket) SendSpace() int {
+	if !s.anchored {
+		return 0
+	}
+	used := int(s.writePtr.DistanceFrom(s.ackedTo))
+	space := int(s.lib.eng.TxRingSize()) - used
+	if space < 0 {
+		space = 0
+	}
+	return space
+}
+
+// Send queues up to len(data) bytes: copy into the TX hugepage ring,
+// advance the REQ pointer, post one 16 B Send command carrying the
+// pointer (§4.2.1). Returns bytes accepted (0 when the buffer or the
+// command queue is full — the non-blocking EAGAIN path, §4.1.1).
+func (s *Socket) Send(data []byte) int {
+	return s.send(len(data), data)
+}
+
+// SendModelled queues n bytes without payload (modelled-only transfers).
+func (s *Socket) SendModelled(n int) int {
+	return s.send(n, nil)
+}
+
+func (s *Socket) send(n int, data []byte) int {
+	if !s.Established || s.Closed || s.closeSent || n <= 0 {
+		return 0
+	}
+	if space := s.SendSpace(); n > space {
+		n = space
+	}
+	if n <= 0 {
+		return 0
+	}
+	if data != nil {
+		if ring := s.lib.eng.TxRing(s.ID); ring != nil {
+			ring.WriteAt(s.writePtr, data[:n])
+		}
+	}
+	ptr := s.writePtr.Add(seqnum.Size(n))
+	if !s.lib.post(hostif.Command{Op: hostif.OpSend, Flow: s.ID, Ptr: ptr}) {
+		return 0
+	}
+	s.writePtr = ptr
+	return n
+}
+
+// Available returns in-order received bytes not yet consumed.
+func (s *Socket) Available() int {
+	if !s.anchored {
+		return 0
+	}
+	return int(s.deliveredTo.DistanceFrom(s.readPtr))
+}
+
+// Recv consumes up to max bytes: read from the RX hugepage ring, advance
+// the consumed pointer, post one Recv command so the hardware can
+// re-open the advertised window.
+func (s *Socket) Recv(max int) ([]byte, int) {
+	n := s.Available()
+	if n > max {
+		n = max
+	}
+	if n <= 0 {
+		return nil, 0
+	}
+	var out []byte
+	if ring := s.lib.eng.RxRing(s.ID); ring != nil {
+		out = ring.ReadAt(s.readPtr, n)
+	}
+	ptr := s.readPtr.Add(seqnum.Size(n))
+	if !s.lib.post(hostif.Command{Op: hostif.OpRecv, Flow: s.ID, Ptr: ptr}) {
+		return nil, 0
+	}
+	s.readPtr = ptr
+	return out, n
+}
+
+// Close posts an orderly shutdown.
+func (s *Socket) Close() {
+	if s.closeSent || s.Closed {
+		return
+	}
+	if s.lib.post(hostif.Command{Op: hostif.OpClose, Flow: s.ID}) {
+		s.closeSent = true
+	}
+}
+
+// Abort posts an immediate reset.
+func (s *Socket) Abort() {
+	s.lib.post(hostif.Command{Op: hostif.OpAbort, Flow: s.ID})
+}

@@ -1,0 +1,433 @@
+// Package stack implements a complete, passive TCP endpoint out of the
+// shared pieces — tcpproc protocol engine, datapath parser/generator,
+// ARP/ICMP, and the timer queue. It processes every event immediately
+// when told to (per-event processing, no accumulation), which makes it
+// both the protocol test harness and the core of the Linux software
+// baseline; callers decide *when* work happens (immediately, or from a
+// modelled CPU core) by choosing when to call HandlePacket/ExpireTimers.
+package stack
+
+import (
+	"fmt"
+
+	"f4t/internal/cc"
+	"f4t/internal/datapath"
+	"f4t/internal/flow"
+	"f4t/internal/seqnum"
+	"f4t/internal/sim"
+	"f4t/internal/tcpproc"
+	"f4t/internal/timerq"
+	"f4t/internal/wire"
+)
+
+// Options configures an endpoint.
+type Options struct {
+	IP         wire.Addr
+	MAC        wire.MAC
+	Cfg        tcpproc.Config
+	Alg        string // congestion control algorithm name
+	MaxFlows   int
+	CarryBytes bool // allocate data rings and move real payload bytes
+	Seed       uint64
+}
+
+// Hooks let owners observe endpoint activity (the Linux model charges
+// CPU cycles here; tests assert on it). All hooks may be nil.
+type Hooks struct {
+	OnTx      func(pkt *wire.Packet)             // a packet is handed to the wire
+	OnProcess func(c *Conn, ev *flow.Event)      // one event is about to be processed
+	OnNote    func(c *Conn, note *tcpproc.Note)  // a host notification fired
+}
+
+// Endpoint is one host's TCP stack instance.
+type Endpoint struct {
+	K     *sim.Kernel
+	Opt   Options
+	Hooks Hooks
+
+	parser *datapath.Parser
+	gen    *datapath.Generator
+	arp    *datapath.ARP
+	timers *timerq.Queue
+	tx     func(*wire.Packet)
+
+	conns     map[flow.ID]*Conn
+	listeners map[uint16]func(*Conn)
+	nextID    flow.ID
+	nextPort  uint16
+	rng       *sim.Rand
+
+	// Packets awaiting ARP resolution, per next-hop address.
+	arpWait map[wire.Addr][]*wire.Packet
+
+	actions tcpproc.Actions // scratch, reused across processing passes
+
+	// Stats.
+	RxPkts, TxPkts       int64
+	RxNoFlow, RxDropped  int64
+	ProcessedEvents      int64
+}
+
+// New builds an endpoint. tx is the wire transmit function (attach the
+// link pipe's Send).
+func New(k *sim.Kernel, opt Options, tx func(*wire.Packet)) *Endpoint {
+	if opt.MaxFlows == 0 {
+		opt.MaxFlows = 1024
+	}
+	if opt.Alg == "" {
+		opt.Alg = "newreno"
+	}
+	if opt.Cfg.MSS == 0 {
+		opt.Cfg = tcpproc.DefaultConfig()
+	}
+	e := &Endpoint{
+		K:         k,
+		Opt:       opt,
+		parser:    datapath.NewParser(opt.MaxFlows, opt.Cfg.RcvBuf, opt.Cfg.WndScale, opt.Seed+1),
+		gen:       datapath.NewGenerator(opt.Cfg.MSS, opt.Cfg.WndScale),
+		arp:       datapath.NewARP(opt.IP, opt.MAC),
+		timers:    timerq.New(),
+		tx:        tx,
+		conns:     make(map[flow.ID]*Conn),
+		listeners: make(map[uint16]func(*Conn)),
+		rng:       sim.NewRand(opt.Seed + 2),
+		arpWait:   make(map[wire.Addr][]*wire.Packet),
+		nextPort:  32768,
+	}
+	if opt.Cfg.ECN {
+		e.gen.EnableECN()
+	}
+	return e
+}
+
+// SetTx replaces the transmit function (for late link attachment).
+func (e *Endpoint) SetTx(tx func(*wire.Packet)) { e.tx = tx }
+
+// LearnPeer installs a static ARP mapping (the testbeds are
+// direct-connected, §5: "directly connecting" the NICs).
+func (e *Endpoint) LearnPeer(ip wire.Addr, mac wire.MAC) { e.arp.Learn(ip, mac) }
+
+// Conns returns the number of live connections.
+func (e *Endpoint) Conns() int { return len(e.conns) }
+
+// Conn returns a connection by flow ID.
+func (e *Endpoint) Conn(id flow.ID) *Conn { return e.conns[id] }
+
+// Listen registers an accept callback for a local port. The callback
+// fires when a new passive connection reaches ESTABLISHED.
+func (e *Endpoint) Listen(port uint16, accept func(*Conn)) {
+	e.listeners[port] = accept
+}
+
+// Dial starts an active open and returns the new connection. The
+// three-way handshake proceeds in simulated time; OnEstablished fires on
+// completion.
+func (e *Endpoint) Dial(remote wire.Addr, remotePort uint16) *Conn {
+	e.nextPort++
+	tuple := wire.FourTuple{
+		LocalAddr: e.Opt.IP, RemoteAddr: remote,
+		LocalPort: e.nextPort, RemotePort: remotePort,
+	}
+	c := e.newConn(tuple)
+	ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, Ctl: flow.CtlOpen}
+	e.Inject(c, &ev)
+	return c
+}
+
+// newConn allocates connection state and registers the flow.
+func (e *Endpoint) newConn(tuple wire.FourTuple) *Conn {
+	e.nextID++
+	id := e.nextID
+	iss := seqnum.Value(e.rng.Uint32())
+	t := &flow.TCB{
+		FlowID: id,
+		Tuple:  tuple,
+		State:  flow.StateClosed,
+		ISS:    iss,
+		SndUna: iss, SndNxt: iss, Req: iss,
+		RcvBuf: e.Opt.Cfg.RcvBuf,
+	}
+	t.AckedToHost = iss.Add(1)
+	var rxRing, txRing *datapath.Ring
+	if e.Opt.CarryBytes {
+		size := 1
+		for size < int(e.Opt.Cfg.RcvBuf)*2 {
+			size <<= 1
+		}
+		rxRing = datapath.NewRing(size)
+		txRing = datapath.NewRing(size)
+	}
+	c := &Conn{
+		ep:     e,
+		ID:     id,
+		TCB:    t,
+		alg:    cc.MustNew(e.Opt.Alg),
+		txRing: txRing,
+	}
+	c.meta = datapath.FlowMeta{Tuple: tuple, LocalMAC: e.Opt.MAC}
+	if !e.parser.Register(tuple, id, rxRing) {
+		panic(fmt.Sprintf("stack: flow table full at %d flows", e.parser.Flows()))
+	}
+	e.conns[id] = c
+	return c
+}
+
+// Inject queues one event for a connection and processes it immediately
+// (per-event processing — the software stack has no accumulation
+// hardware).
+func (e *Endpoint) Inject(c *Conn, ev *flow.Event) {
+	if c == nil || c.TCB == nil {
+		return
+	}
+	if e.Hooks.OnProcess != nil {
+		e.Hooks.OnProcess(c, ev)
+	}
+	e.ProcessedEvents++
+	var row flow.EventRow
+	row.Accumulate(ev)
+	row.MergeInto(c.TCB)
+	e.runProcess(c)
+}
+
+// runProcess executes one protocol pass and applies the resulting
+// actions: packet generation, host notifications, timer sync.
+func (e *Endpoint) runProcess(c *Conn) {
+	e.actions.Reset()
+	tcpproc.Process(c.TCB, c.alg, &e.Opt.Cfg, e.K.NowNS(), &e.actions)
+
+	for i := range e.actions.Segs {
+		e.emitSegment(c, &e.actions.Segs[i])
+	}
+	for i := range e.actions.Notes {
+		e.applyNote(c, &e.actions.Notes[i])
+	}
+	e.timers.SyncFromTCB(c.TCB)
+	if e.actions.FreeFlow {
+		e.free(c)
+	}
+}
+
+// emitSegment expands a SendOp into packets and transmits them, resolving
+// the destination MAC (static or via ARP) first.
+func (e *Endpoint) emitSegment(c *Conn, op *tcpproc.SendOp) {
+	mac, req, ok := e.arp.Resolve(c.meta.Tuple.RemoteAddr)
+	var fetch datapath.PayloadFetch
+	if c.txRing != nil {
+		ring := c.txRing
+		fetch = func(seq seqnum.Value, n int) []byte { return ring.ReadAt(seq, n) }
+	}
+	if !ok {
+		// Build the packets now but park them until the ARP reply.
+		meta := c.meta // MAC still zero; fixed at flush time
+		e.gen.Build(*op, meta, fetch, func(p *wire.Packet) {
+			e.arpWait[c.meta.Tuple.RemoteAddr] = append(e.arpWait[c.meta.Tuple.RemoteAddr], p)
+		})
+		if req != nil {
+			e.transmit(req)
+		}
+		return
+	}
+	c.meta.PeerMAC = mac
+	e.gen.Build(*op, c.meta, fetch, e.transmit)
+}
+
+func (e *Endpoint) transmit(pkt *wire.Packet) {
+	e.TxPkts++
+	if e.Hooks.OnTx != nil {
+		e.Hooks.OnTx(pkt)
+	}
+	if e.tx != nil {
+		e.tx(pkt)
+	}
+}
+
+// applyNote updates the connection's host-visible mirrors and fires app
+// callbacks.
+func (e *Endpoint) applyNote(c *Conn, n *tcpproc.Note) {
+	if e.Hooks.OnNote != nil {
+		e.Hooks.OnNote(c, n)
+	}
+	switch n.Kind {
+	case tcpproc.NoteEstablished:
+		c.Established = true
+		// Passive connections announce themselves to the listener now.
+		if !c.accepted {
+			c.accepted = true
+			if acc := e.listeners[c.meta.Tuple.LocalPort]; acc != nil && c.passive {
+				acc(c)
+			}
+		}
+		if c.OnEstablished != nil {
+			c.OnEstablished()
+		}
+	case tcpproc.NoteDataAcked:
+		c.AckedTo = n.Seq
+		if c.OnAcked != nil {
+			c.OnAcked()
+		}
+	case tcpproc.NoteDataDelivered:
+		c.DeliveredTo = n.Seq
+		if c.OnData != nil {
+			c.OnData()
+		}
+	case tcpproc.NotePeerClosed:
+		c.PeerClosed = true
+		if c.OnPeerClosed != nil {
+			c.OnPeerClosed()
+		}
+	case tcpproc.NoteReset:
+		c.WasReset = true
+	case tcpproc.NoteClosed:
+		c.Closed = true
+		if c.OnClosed != nil {
+			c.OnClosed()
+		}
+	}
+}
+
+// free releases all per-flow state.
+func (e *Endpoint) free(c *Conn) {
+	e.parser.Deregister(c.meta.Tuple, c.ID)
+	delete(e.conns, c.ID)
+	c.freed = true
+}
+
+// HandlePacket processes one received frame: ARP and ICMP are answered
+// in place; TCP packets are parsed into events and processed. Returns the
+// connection the packet belonged to (nil for non-TCP or unknown flows).
+func (e *Endpoint) HandlePacket(pkt *wire.Packet) *Conn {
+	e.RxPkts++
+	switch pkt.Kind {
+	case wire.KindARP:
+		if reply := e.arp.Handle(pkt); reply != nil {
+			e.transmit(reply)
+		}
+		e.flushARPWait(pkt.ARP.SenderIP)
+		return nil
+	case wire.KindICMP:
+		if reply := datapath.HandleICMP(pkt, e.Opt.IP, e.Opt.MAC); reply != nil {
+			e.transmit(reply)
+		}
+		return nil
+	}
+
+	res := e.parser.Parse(pkt)
+	if res.NoFlow {
+		// New passive connection? Only a SYN to a listening port counts.
+		if pkt.TCP.Flags&wire.FlagSYN != 0 && pkt.TCP.Flags&wire.FlagACK == 0 {
+			if _, listening := e.listeners[pkt.TCP.DstPort]; listening {
+				c := e.newConn(pkt.Tuple())
+				c.passive = true
+				c.TCB.State = flow.StateListen
+				c.meta.PeerMAC = pkt.Eth.Src
+				e.arp.Learn(pkt.IP.Src, pkt.Eth.Src)
+				res = e.parser.Parse(pkt)
+				if res.NoFlow {
+					return nil
+				}
+				if e.Hooks.OnProcess != nil {
+					e.Hooks.OnProcess(c, &res.Event)
+				}
+				e.ProcessedEvents++
+				var row flow.EventRow
+				row.Accumulate(&res.Event)
+				row.MergeInto(c.TCB)
+				e.runProcess(c)
+				return c
+			}
+		}
+		e.RxNoFlow++
+		// RFC 793: a segment to a non-existent connection draws a RST.
+		if pkt.TCP.Flags&wire.FlagRST == 0 {
+			e.sendRST(pkt)
+		}
+		return nil
+	}
+	if res.Dropped {
+		e.RxDropped++
+	}
+	c := e.conns[res.Event.Flow]
+	if c == nil {
+		return nil
+	}
+	e.Inject(c, &res.Event)
+	return c
+}
+
+// flushARPWait transmits packets parked for the now-resolved address.
+func (e *Endpoint) flushARPWait(ip wire.Addr) {
+	pkts := e.arpWait[ip]
+	if len(pkts) == 0 {
+		return
+	}
+	delete(e.arpWait, ip)
+	mac, _, ok := e.arp.Resolve(ip)
+	if !ok {
+		return
+	}
+	for _, p := range pkts {
+		p.Eth.Dst = mac
+		e.transmit(p)
+	}
+}
+
+// sendRST answers an orphan segment with a reset.
+func (e *Endpoint) sendRST(pkt *wire.Packet) {
+	seq := pkt.TCP.Ack
+	rst := &wire.Packet{
+		Kind: wire.KindTCP,
+		Eth:  wire.EthHeader{Src: e.Opt.MAC, Dst: pkt.Eth.Src, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: e.Opt.IP, Dst: pkt.IP.Src,
+			TTL: wire.DefaultTTL, Protocol: wire.ProtoTCP,
+		},
+		TCP: wire.TCPHeader{
+			SrcPort: pkt.TCP.DstPort, DstPort: pkt.TCP.SrcPort,
+			Seq: seq, Ack: pkt.TCP.Seq.Add(seqnum.Size(pkt.PayloadLen)),
+			Flags: wire.FlagRST | wire.FlagACK,
+		},
+	}
+	e.transmit(rst)
+}
+
+// ExpireTimers fires all due timer events. Call it periodically (the
+// harness ticks it every cycle; the heap peek is O(1) when idle).
+func (e *Endpoint) ExpireTimers() {
+	now := e.K.NowNS()
+	e.timers.Expire(now, func(id flow.ID) *flow.TCB {
+		if c := e.conns[id]; c != nil {
+			return c.TCB
+		}
+		return nil
+	}, func(id flow.ID, kind uint8) {
+		c := e.conns[id]
+		if c == nil {
+			return
+		}
+		ev := flow.Event{Kind: flow.EvTimeout, Flow: id, Timeouts: kind}
+		e.Inject(c, &ev)
+	})
+}
+
+// Tick implements sim.Ticker so the endpoint can self-drive its timers
+// in immediate mode.
+func (e *Endpoint) Tick(int64) { e.ExpireTimers() }
+
+// Ping sends an ICMP echo request (diagnostics parity with FtEngine).
+func (e *Endpoint) Ping(ip wire.Addr, id, seq uint16, payload []byte) bool {
+	mac, req, ok := e.arp.Resolve(ip)
+	if !ok {
+		if req != nil {
+			e.transmit(req)
+		}
+		return false
+	}
+	e.transmit(&wire.Packet{
+		Kind: wire.KindICMP,
+		Eth:  wire.EthHeader{Src: e.Opt.MAC, Dst: mac, Type: wire.EtherTypeIPv4},
+		IP:   wire.IPv4Header{Src: e.Opt.IP, Dst: ip, TTL: wire.DefaultTTL, Protocol: wire.ProtoICMP},
+		ICMP: wire.ICMPEcho{Type: wire.ICMPEchoRequest, ID: id, Seq: seq},
+		PayloadLen: len(payload), Payload: payload,
+	})
+	return true
+}

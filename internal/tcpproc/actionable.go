@@ -1,0 +1,51 @@
+package tcpproc
+
+import "f4t/internal/flow"
+
+// Actionable is the memory manager's check logic (§4.3.1): given a
+// DRAM-resident TCB whose events have been handled (accumulated) but not
+// processed, decide whether a processing pass would emit packets — i.e.
+// whether the flow is worth swapping into an FPC now. Flows that cannot
+// act wait in DRAM until they can, which is what keeps cold flows from
+// thrashing the FPC slots.
+func Actionable(t *flow.TCB) bool {
+	in := &t.In
+	if in.Valid == 0 {
+		return false
+	}
+	// Control requests, timeouts, connection flags, immediate-ACK
+	// obligations and duplicate ACKs always need processing.
+	if in.Valid&(flow.VCtl|flow.VTimeouts|flow.VRxFlags|flow.VAckNow) != 0 {
+		return true
+	}
+	if in.Valid&flow.VDupAck != 0 && t.DupAcks+in.DupAckInc >= 3 {
+		return true
+	}
+	// A cumulative ACK advance releases send buffer and may unlock
+	// transmission.
+	if in.Valid&flow.VAck != 0 && in.Ack.GreaterThan(t.SndUna) {
+		return true
+	}
+	// New in-order data obliges an ACK and a delivery notification.
+	if in.Valid&flow.VData != 0 && in.RcvData.GreaterThan(t.RcvNxt) {
+		return true
+	}
+	// A send request matters only if the window lets us transmit.
+	if in.Valid&flow.VReq != 0 && in.Req.GreaterThan(t.SndNxt) {
+		limit := t.SendLimit()
+		if limit.GreaterThan(t.SndNxt) {
+			return true
+		}
+	}
+	// A recv() that reopens a pinched window must reach the peer.
+	if in.Valid&flow.VRead != 0 && in.AppRead.GreaterThan(t.AppRead) {
+		if t.AdvertisedWindow() == 0 {
+			return true
+		}
+	}
+	// A window update from the peer matters when data is waiting.
+	if in.Valid&flow.VWnd != 0 && in.Wnd > t.SndWnd && t.Req.GreaterThan(t.SndNxt) {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,618 @@
+package tcpproc
+
+import (
+	"f4t/internal/cc"
+	"f4t/internal/flow"
+	"f4t/internal/seqnum"
+	"f4t/internal/wire"
+)
+
+// Process is the FPU program: it consumes the TCB's merged event inputs
+// (t.In) and reacts to all of them in one pass — connection management,
+// ACK/loss processing, received data, user requests, timeouts, and new
+// transmission — appending outputs to out. It is a pure function of
+// (TCB, now): no package state, which is what makes the hardware FPU
+// fully pipelineable (§4.2.2).
+func Process(t *flow.TCB, alg cc.Algorithm, cfg *Config, nowNS int64, out *Actions) {
+	p := pass{t: t, alg: alg, cfg: cfg, now: nowNS, out: out}
+	p.run()
+	t.In.Clear()
+}
+
+// pass bundles the per-invocation context so the steps read naturally.
+type pass struct {
+	t   *flow.TCB
+	alg cc.Algorithm
+	cfg *Config
+	now int64
+	out *Actions
+
+	sentSomething bool // a segment carrying our current ACK was emitted
+	progressed    bool // SndUna advanced or new data was (re)transmitted
+	forceAck      bool // bypass delayed-ACK coalescing this pass
+	peerSpoke     bool // any packet from the peer arrived this pass
+}
+
+func (p *pass) run() {
+	t := p.t
+	in := &t.In
+
+	// 1. RST from the peer aborts everything immediately.
+	if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxRST != 0 {
+		p.abort(NoteReset)
+		return
+	}
+	// 2. Local abort request.
+	if in.Valid&flow.VCtl != 0 && in.Ctl&flow.CtlAbort != 0 {
+		p.emit(SendOp{Seq: t.SndNxt, Flags: wire.FlagRST | wire.FlagACK})
+		p.abort(NoteClosed)
+		return
+	}
+
+	p.peerSpoke = in.Valid&(flow.VAck|flow.VWnd|flow.VData|flow.VRxFlags|flow.VDupAck|flow.VAckNow) != 0
+
+	p.connectionManagement()
+	if t.State == flow.StateClosed {
+		return
+	}
+
+	// Peer window update (latest value wins, §4.2.1).
+	if in.Valid&flow.VWnd != 0 {
+		t.SndWnd = in.Wnd
+	}
+
+	p.processAcks()
+	p.processRxData()
+	p.processUserRequests()
+	p.processTimeouts()
+	p.transmit()
+	p.flushAcks()
+	p.armTimers()
+}
+
+// connectionManagement handles open requests and the three-way handshake.
+func (p *pass) connectionManagement() {
+	t := p.t
+	in := &t.In
+
+	switch t.State {
+	case flow.StateClosed:
+		if in.Valid&flow.VCtl != 0 && in.Ctl&flow.CtlOpen != 0 {
+			// Active open: SYN consumes sequence ISS.
+			t.SndUna = t.ISS
+			t.SndNxt = t.ISS.Add(1)
+			t.Req = t.ISS.Add(1)
+			t.State = flow.StateSynSent
+			p.alg.Init(t, p.cfg.MSS)
+			t.RcvBuf = p.cfg.RcvBuf
+			p.emit(SendOp{Seq: t.ISS, Flags: wire.FlagSYN})
+			p.progressed = true
+		}
+	case flow.StateListen:
+		if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxSYN != 0 {
+			// Passive open: record the peer's ISN and answer SYN-ACK.
+			p.acceptSyn(in.SynSeq)
+			t.SndUna = t.ISS
+			t.SndNxt = t.ISS.Add(1)
+			t.Req = t.ISS.Add(1)
+			t.State = flow.StateSynRcvd
+			p.alg.Init(t, p.cfg.MSS)
+			p.emit(SendOp{Seq: t.ISS, Flags: wire.FlagSYN | wire.FlagACK, Ack: t.RcvNxt, Wnd: t.AdvertisedWindow()})
+			p.progressed = true
+		}
+	case flow.StateSynSent:
+		if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxSYN != 0 {
+			p.acceptSyn(in.SynSeq)
+			if in.Valid&flow.VAck != 0 && in.Ack == t.SndNxt {
+				// SYN-ACK: established. The handshake RTT seeds the estimator.
+				t.SndUna = in.Ack
+				p.establish()
+				p.sendPureAck()
+			} else {
+				// Simultaneous open.
+				t.State = flow.StateSynRcvd
+				p.emit(SendOp{Seq: t.ISS, Flags: wire.FlagSYN | wire.FlagACK, Ack: t.RcvNxt, Wnd: t.AdvertisedWindow()})
+			}
+			p.progressed = true
+		}
+	case flow.StateSynRcvd:
+		if in.Valid&flow.VAck != 0 && in.Ack == t.SndNxt {
+			t.SndUna = in.Ack
+			p.establish()
+			p.progressed = true
+		}
+	}
+}
+
+// acceptSyn records the peer's initial sequence number.
+func (p *pass) acceptSyn(isn seqnum.Value) {
+	t := p.t
+	t.IRS = isn
+	t.RcvNxt = isn.Add(1)
+	t.AppRead = t.RcvNxt
+	t.DeliveredTo = t.RcvNxt
+	t.LastAckSent = t.RcvNxt
+	if t.RcvBuf == 0 {
+		t.RcvBuf = p.cfg.RcvBuf
+	}
+}
+
+func (p *pass) establish() {
+	t := p.t
+	t.State = flow.StateEstablished
+	t.Backoff = 0
+	if !t.EstablishedSent {
+		t.EstablishedSent = true
+		p.out.note(NoteEstablished, t.FlowID, t.RcvNxt)
+	}
+	t.AckedToHost = t.SndUna
+}
+
+// processAcks applies cumulative acknowledgments, RTT samples, duplicate
+// ACK counting, fast retransmit and recovery (RFC 5681/6582).
+func (p *pass) processAcks() {
+	t := p.t
+	in := &t.In
+	if t.State < flow.StateEstablished {
+		return
+	}
+
+	if in.Valid&flow.VAck != 0 && in.Ack.GreaterThan(t.SndUna) && in.Ack.LessThanEq(t.SndNxt) {
+		acked := uint32(in.Ack.DistanceFrom(t.SndUna))
+		t.SndUna = in.Ack
+		t.Backoff = 0
+		t.DupAcks = 0
+		p.progressed = true
+
+		// ECN accounting for DCTCP-style programs: attribute this ack's
+		// bytes to the ECE-echo bucket when the feedback carried it.
+		if p.cfg.ECN {
+			t.AckedBytes += uint64(acked)
+			if in.Valid&flow.VECE != 0 && in.ECEInc > 0 {
+				t.EceBytes += uint64(acked)
+			}
+		}
+
+		// RTT sample (Karn-safe: RTTTiming is cleared on retransmit).
+		var sample int64
+		if t.RTTTiming && t.SndUna.GreaterThanEq(t.RTTSeq) {
+			sample = p.now - t.RTTSentAt
+			t.RTTTiming = false
+			p.updateRTO(sample)
+		}
+
+		if t.InRecovery {
+			if t.SndUna.GreaterThanEq(t.RecoverSeq) {
+				// Full acknowledgment: recovery complete.
+				t.InRecovery = false
+				p.alg.OnRecoveryExit(t, p.cfg.MSS)
+			} else {
+				// Partial ACK (RFC 6582): the next hole starts at the new
+				// SndUna; retransmit it immediately.
+				p.retransmitOne()
+			}
+		} else {
+			p.alg.OnAck(t, acked, sample, p.now, p.cfg.MSS)
+		}
+
+		// Release send-buffer space to the host. Only data bytes count:
+		// clamp the boundary to the data region [ISS+1, FinSeq).
+		ackBoundary := t.SndUna
+		if t.FinSent && ackBoundary.GreaterThan(t.FinSeq) {
+			ackBoundary = t.FinSeq
+		}
+		if ackBoundary.GreaterThan(t.AckedToHost) {
+			t.AckedToHost = ackBoundary
+			p.out.note(NoteDataAcked, t.FlowID, ackBoundary)
+		}
+
+		// Our FIN was acknowledged: advance the close state machine.
+		if t.FinSent && t.SndUna.GreaterThan(t.FinSeq) {
+			switch t.State {
+			case flow.StateFinWait1:
+				t.State = flow.StateFinWait2
+			case flow.StateClosing:
+				p.enterTimeWait()
+			case flow.StateLastAck:
+				p.becomeClosed()
+			}
+		}
+	}
+
+	// Duplicate ACKs: the single RMW the event handler performs inline
+	// (§4.2.1). Three trigger fast retransmit.
+	if in.Valid&flow.VDupAck != 0 && in.DupAckInc > 0 {
+		t.DupAcks += in.DupAckInc
+		if !t.InRecovery && t.DupAcks >= 3 && t.SndNxt.GreaterThan(t.SndUna) {
+			t.InRecovery = true
+			t.RecoverSeq = t.SndNxt
+			p.alg.OnLoss(t, p.now, p.cfg.MSS)
+			p.retransmitOne()
+		}
+	}
+}
+
+// updateRTO runs the RFC 6298 estimator.
+func (p *pass) updateRTO(sample int64) {
+	t := p.t
+	if sample <= 0 {
+		sample = 1
+	}
+	if t.SRTT == 0 {
+		t.SRTT = sample
+		t.RTTVar = sample / 2
+	} else {
+		d := t.SRTT - sample
+		if d < 0 {
+			d = -d
+		}
+		t.RTTVar = (3*t.RTTVar + d) / 4
+		t.SRTT = (7*t.SRTT + sample) / 8
+	}
+	rto := t.SRTT + 4*t.RTTVar
+	if rto < p.cfg.MinRTO {
+		rto = p.cfg.MinRTO
+	}
+	if rto > p.cfg.MaxRTO {
+		rto = p.cfg.MaxRTO
+	}
+	t.RTO = rto
+}
+
+// retransmitOne re-sends the first unacknowledged segment.
+func (p *pass) retransmitOne() {
+	t := p.t
+	if t.SndUna == t.SndNxt {
+		return
+	}
+	p.progressed = true
+	t.RTTTiming = false // Karn's rule
+	if t.FinSent && t.SndUna == t.FinSeq {
+		p.emit(SendOp{Seq: t.FinSeq, Flags: wire.FlagFIN | wire.FlagACK, Retransmit: true})
+		return
+	}
+	// Data boundary for retransmission: don't run into the FIN.
+	end := t.SndNxt
+	if t.FinSent && end.GreaterThan(t.FinSeq) {
+		end = t.FinSeq
+	}
+	n := uint32(end.DistanceFrom(t.SndUna))
+	if n > p.cfg.MSS {
+		n = p.cfg.MSS
+	}
+	p.emit(SendOp{Seq: t.SndUna, Len: n, Flags: wire.FlagACK | wire.FlagPSH, Retransmit: true})
+}
+
+// processRxData advances the in-order receive boundary and the peer-FIN
+// state machine; the actual payload was already DMAed by the RX parser.
+func (p *pass) processRxData() {
+	t := p.t
+	in := &t.In
+	if t.State < flow.StateEstablished {
+		return
+	}
+
+	if in.Valid&flow.VData != 0 && in.RcvData.GreaterThan(t.RcvNxt) {
+		t.RcvNxt = in.RcvData
+		t.AckPending = true
+	}
+
+	// A FIN may arrive out of order; remember it until the byte stream
+	// catches up (the event row is cleared after every pass, so the TCB
+	// keeps the pending FIN).
+	if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxFIN != 0 && !t.RcvFin {
+		t.PeerFinKnown = true
+		t.PeerFinSeq = in.FinSeq
+	}
+
+	// Peer FIN, only once it is in order (its sequence equals RcvNxt).
+	if t.PeerFinKnown && !t.RcvFin && t.PeerFinSeq == t.RcvNxt {
+		t.RcvFin = true
+		t.RcvNxt = t.RcvNxt.Add(1)
+		t.AckPending = true
+		p.forceAck = true
+		p.out.note(NotePeerClosed, t.FlowID, t.PeerFinSeq)
+		switch t.State {
+		case flow.StateEstablished:
+			t.State = flow.StateCloseWait
+		case flow.StateFinWait1:
+			if t.FinSent && t.SndUna.GreaterThan(t.FinSeq) {
+				p.enterTimeWait()
+			} else {
+				t.State = flow.StateClosing
+			}
+		case flow.StateFinWait2:
+			p.enterTimeWait()
+		}
+	}
+
+	// Deliver the new in-order boundary to the host (data bytes only).
+	boundary := t.RcvNxt
+	if t.RcvFin {
+		boundary = boundary.Sub(1)
+	}
+	if boundary.GreaterThan(t.DeliveredTo) {
+		t.DeliveredTo = boundary
+		p.out.note(NoteDataDelivered, t.FlowID, boundary)
+	}
+
+	// ECN: congestion marks on received data demand a prompt ECE echo
+	// (DCTCP's feedback loop lives or dies on its latency).
+	if p.cfg.ECN && in.Valid&flow.VCE != 0 && in.CEInc > 0 {
+		t.EcnEchoPending = true
+		t.AckPending = true
+		p.forceAck = true
+	}
+
+	// Immediate-ACK requests from the RX parser (out-of-order or
+	// out-of-window arrivals): emit duplicate ACKs so the peer's fast
+	// retransmit sees every one.
+	if in.Valid&flow.VAckNow != 0 {
+		n := int(in.AckNowCnt)
+		for i := 0; i < n; i++ {
+			p.sendPureAck()
+		}
+	}
+}
+
+// processUserRequests applies send/recv pointer updates and close requests.
+func (p *pass) processUserRequests() {
+	t := p.t
+	in := &t.In
+
+	if in.Valid&flow.VReq != 0 && in.Req.GreaterThan(t.Req) {
+		t.Req = in.Req
+	}
+	if in.Valid&flow.VRead != 0 && in.AppRead.GreaterThan(t.AppRead) {
+		prevWnd := t.AdvertisedWindow()
+		t.AppRead = in.AppRead
+		// Window update: if we were pinched shut (or near it), tell the
+		// peer promptly so it can resume.
+		if prevWnd < p.cfg.MSS && t.AdvertisedWindow() >= p.cfg.MSS {
+			t.AckPending = true
+			p.forceAck = true
+		}
+	}
+	if in.Valid&flow.VCtl != 0 && in.Ctl&flow.CtlClose != 0 {
+		t.ClosePending = true
+	}
+}
+
+// processTimeouts reacts to timer-module events.
+func (p *pass) processTimeouts() {
+	t := p.t
+	in := &t.In
+	if in.Valid&flow.VTimeouts == 0 {
+		return
+	}
+
+	if in.Timeouts&flow.TORetrans != 0 {
+		p.onRetransTimeout()
+	}
+	if in.Timeouts&flow.TOProbe != 0 && t.SndWnd == 0 && t.Req.GreaterThan(t.SndNxt) {
+		// Zero-window persist probe: send one byte of new data (classic
+		// BSD behaviour). If the window is still closed the peer drops it
+		// and the RTO path recovers; either way we get a window report.
+		p.emit(SendOp{Seq: t.SndNxt, Len: 1, Flags: wire.FlagACK | wire.FlagPSH})
+		t.SndNxt = t.SndNxt.Add(1)
+		p.progressed = true
+	}
+	if in.Timeouts&flow.TODelAck != 0 && t.AckPending {
+		p.sendPureAck()
+	}
+	if in.Timeouts&flow.TOKeepalive != 0 && t.State == flow.StateEstablished && p.cfg.KeepaliveIdle > 0 {
+		if t.KeepaliveMisses >= p.cfg.KeepaliveCnt {
+			// The peer is gone: reset the connection (RFC 1122 §4.2.3.6).
+			p.emit(SendOp{Seq: t.SndNxt, Flags: wire.FlagRST | wire.FlagACK})
+			p.abort(NoteReset)
+			return
+		}
+		t.KeepaliveMisses++
+		// Probe with one already-acknowledged byte (seq = SndUna−1): the
+		// peer treats it as a duplicate and answers immediately.
+		p.emit(SendOp{Seq: t.SndUna.Sub(1), Len: 1, Flags: wire.FlagACK, Retransmit: true})
+		t.KeepaliveAt = p.now + p.cfg.KeepaliveIvl
+	}
+	if in.Timeouts&flow.TOTimeWait != 0 && t.State == flow.StateTimeWait {
+		p.becomeClosed()
+	}
+}
+
+func (p *pass) onRetransTimeout() {
+	t := p.t
+	switch t.State {
+	case flow.StateSynSent:
+		p.emit(SendOp{Seq: t.ISS, Flags: wire.FlagSYN, Retransmit: true})
+	case flow.StateSynRcvd:
+		p.emit(SendOp{Seq: t.ISS, Flags: wire.FlagSYN | wire.FlagACK, Ack: t.RcvNxt, Wnd: t.AdvertisedWindow(), Retransmit: true})
+	default:
+		if t.SndUna == t.SndNxt {
+			return // nothing outstanding; stale timer
+		}
+		t.InRecovery = false
+		t.DupAcks = 0
+		p.alg.OnTimeout(t, p.now, p.cfg.MSS)
+		p.retransmitOne()
+	}
+	if t.Backoff < 10 {
+		t.Backoff++
+	}
+	p.progressed = true
+}
+
+// transmit sends whatever new data congestion and flow control allow, and
+// the FIN once all data is out (§4.2.2: "decides which data to transfer").
+func (p *pass) transmit() {
+	t := p.t
+	switch t.State {
+	case flow.StateEstablished, flow.StateCloseWait, flow.StateFinWait1, flow.StateClosing, flow.StateLastAck:
+	default:
+		return
+	}
+
+	if !t.FinSent {
+		limit := t.SendLimit()
+		end := t.Req
+		if limit.LessThan(end) {
+			end = limit
+		}
+		if end.GreaterThan(t.SndNxt) {
+			n := uint32(end.DistanceFrom(t.SndNxt))
+			p.emit(SendOp{Seq: t.SndNxt, Len: n, Flags: wire.FlagACK | wire.FlagPSH})
+			if !t.RTTTiming {
+				t.RTTTiming = true
+				t.RTTSeq = t.SndNxt.Add(seqnum.Size(n))
+				t.RTTSentAt = p.now
+			}
+			t.SndNxt = end
+			p.progressed = true
+		}
+
+		// FIN once every queued byte has been transmitted.
+		if t.ClosePending && t.SndNxt == t.Req {
+			t.FinSent = true
+			t.FinSeq = t.SndNxt
+			t.SndNxt = t.SndNxt.Add(1)
+			p.emit(SendOp{Seq: t.FinSeq, Flags: wire.FlagFIN | wire.FlagACK})
+			switch t.State {
+			case flow.StateEstablished:
+				t.State = flow.StateFinWait1
+			case flow.StateCloseWait:
+				t.State = flow.StateLastAck
+			}
+			p.progressed = true
+		}
+	}
+}
+
+// flushAcks emits a pure ACK when data reception obliged one and no
+// outgoing segment carried it (outgoing segments all carry ACK).
+// Delayed ACK (RFC 1122): a lone ACK goes out immediately once two MSS
+// of data are unacknowledged; smaller amounts wait for a piggyback or
+// the delayed-ACK timer.
+func (p *pass) flushAcks() {
+	t := p.t
+	if t.AckPending && !p.sentSomething {
+		unacked := uint32(t.RcvNxt.DistanceFrom(t.LastAckSent))
+		if p.forceAck || unacked >= 2*p.cfg.MSS {
+			p.sendPureAck()
+		}
+	}
+	if p.sentSomething {
+		t.AckPending = false
+	}
+}
+
+// armTimers recomputes timer deadlines after the pass (§4.1.2 ③).
+func (p *pass) armTimers() {
+	t := p.t
+	cfg := p.cfg
+
+	outstanding := t.SndNxt != t.SndUna || t.State == flow.StateSynSent || t.State == flow.StateSynRcvd
+	if outstanding {
+		rto := t.RTO
+		if rto == 0 {
+			rto = cfg.InitialRTO
+		}
+		rto <<= t.Backoff
+		if rto > cfg.MaxRTO {
+			rto = cfg.MaxRTO
+		}
+		// Restart on forward progress; otherwise keep the running timer so
+		// a stream of duplicate ACKs cannot postpone the RTO forever.
+		if p.progressed || t.RetransAt == 0 {
+			t.RetransAt = p.now + rto
+		}
+	} else {
+		t.RetransAt = 0
+	}
+
+	if t.SndWnd == 0 && t.Req.GreaterThan(t.SndNxt) && !t.FinSent {
+		if t.ProbeAt == 0 {
+			t.ProbeAt = p.now + cfg.ProbeIvl
+		}
+	} else {
+		t.ProbeAt = 0
+	}
+
+	if t.AckPending {
+		if t.DelAckAt == 0 {
+			t.DelAckAt = p.now + cfg.DelAckTO
+		}
+	} else {
+		t.DelAckAt = 0
+	}
+
+	// Keepalive: any sign of life from the peer resets the probe count
+	// and restarts the idle clock.
+	if cfg.KeepaliveIdle > 0 && t.State == flow.StateEstablished {
+		if p.peerSpoke {
+			t.KeepaliveMisses = 0
+			t.KeepaliveAt = p.now + cfg.KeepaliveIdle
+		} else if t.KeepaliveAt == 0 {
+			t.KeepaliveAt = p.now + cfg.KeepaliveIdle
+		}
+	} else if t.State != flow.StateEstablished {
+		t.KeepaliveAt = 0
+	}
+}
+
+// enterTimeWait transitions to TIME_WAIT and arms its timer.
+func (p *pass) enterTimeWait() {
+	t := p.t
+	t.State = flow.StateTimeWait
+	t.TimeWaitAt = p.now + p.cfg.TimeWaitDur
+}
+
+// becomeClosed finishes the connection and tells the host.
+func (p *pass) becomeClosed() {
+	t := p.t
+	t.State = flow.StateClosed
+	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt = 0, 0, 0, 0
+	if !t.ClosedSent {
+		t.ClosedSent = true
+		p.out.note(NoteClosed, t.FlowID, t.SndUna)
+	}
+	p.out.FreeFlow = true
+}
+
+// abort tears the connection down without ceremony.
+func (p *pass) abort(kind NoteKind) {
+	t := p.t
+	t.State = flow.StateClosed
+	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt = 0, 0, 0, 0
+	if kind == NoteReset {
+		p.out.note(NoteReset, t.FlowID, t.SndUna)
+	}
+	if !t.ClosedSent {
+		t.ClosedSent = true
+		p.out.note(NoteClosed, t.FlowID, t.SndUna)
+	}
+	p.out.FreeFlow = true
+	t.In.Clear()
+}
+
+// sendPureAck emits a zero-payload ACK with the current window.
+func (p *pass) sendPureAck() {
+	t := p.t
+	p.emit(SendOp{Seq: t.SndNxt, Flags: wire.FlagACK})
+	t.AckPending = false
+}
+
+// emit appends a SendOp, filling the ACK and window fields every outgoing
+// segment carries.
+func (p *pass) emit(op SendOp) {
+	t := p.t
+	op.Flow = t.FlowID
+	if op.Flags&wire.FlagACK != 0 {
+		op.Ack = t.RcvNxt
+		op.Wnd = t.AdvertisedWindow()
+		p.sentSomething = true
+		t.LastAckSent = t.RcvNxt
+		if p.cfg.ECN && t.EcnEchoPending {
+			op.Flags |= wire.FlagECE
+			t.EcnEchoPending = false
+		}
+	}
+	p.out.Segs = append(p.out.Segs, op)
+}

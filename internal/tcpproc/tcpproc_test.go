@@ -1,0 +1,478 @@
+package tcpproc
+
+import (
+	"testing"
+
+	"f4t/internal/cc"
+	"f4t/internal/flow"
+	"f4t/internal/wire"
+)
+
+type harness struct {
+	t   *flow.TCB
+	alg cc.Algorithm
+	cfg Config
+	out Actions
+	now int64
+}
+
+func newHarness() *harness {
+	h := &harness{
+		alg: cc.MustNew("newreno"),
+		cfg: DefaultConfig(),
+		now: 1_000_000,
+	}
+	h.t = &flow.TCB{
+		FlowID: 1,
+		State:  flow.StateClosed,
+		ISS:    1000,
+		SndUna: 1000, SndNxt: 1000, Req: 1000,
+		RcvBuf: h.cfg.RcvBuf,
+	}
+	h.t.AckedToHost = 1001
+	return h
+}
+
+// feed merges one event and runs a pass.
+func (h *harness) feed(ev flow.Event) *Actions {
+	var row flow.EventRow
+	row.Accumulate(&ev)
+	row.MergeInto(h.t)
+	h.out.Reset()
+	h.now += 1000
+	Process(h.t, h.alg, &h.cfg, h.now, &h.out)
+	return &h.out
+}
+
+func (h *harness) segs() []SendOp { return h.out.Segs }
+
+func hasFlag(ops []SendOp, f uint8) *SendOp {
+	for i := range ops {
+		if ops[i].Flags&f == f {
+			return &ops[i]
+		}
+	}
+	return nil
+}
+
+func hasNote(notes []Note, k NoteKind) *Note {
+	for i := range notes {
+		if notes[i].Kind == k {
+			return &notes[i]
+		}
+	}
+	return nil
+}
+
+// establish drives the active-open handshake to ESTABLISHED.
+func (h *harness) establish(t *testing.T) {
+	t.Helper()
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlOpen})
+	if hasFlag(out.Segs, wire.FlagSYN) == nil || h.t.State != flow.StateSynSent {
+		t.Fatalf("open: %+v state=%v", out.Segs, h.t.State)
+	}
+	out = h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxSYN, SynSeq: 7000,
+		HasAck: true, Ack: 1001, HasWnd: true, Wnd: 65535,
+	})
+	if h.t.State != flow.StateEstablished {
+		t.Fatalf("after SYN-ACK: state=%v", h.t.State)
+	}
+	if hasNote(out.Notes, NoteEstablished) == nil {
+		t.Fatal("no established notification")
+	}
+	if hasFlag(out.Segs, wire.FlagACK) == nil {
+		t.Fatal("handshake third ACK missing")
+	}
+}
+
+func TestActiveOpenHandshake(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	if h.t.RcvNxt != 7001 || h.t.SndUna != 1001 {
+		t.Fatalf("stream anchors: rcv=%d snd=%d", h.t.RcvNxt, h.t.SndUna)
+	}
+}
+
+func TestPassiveOpenHandshake(t *testing.T) {
+	h := newHarness()
+	h.t.State = flow.StateListen
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxSYN, SynSeq: 9000})
+	sa := hasFlag(out.Segs, wire.FlagSYN|wire.FlagACK)
+	if sa == nil || sa.Ack != 9001 || h.t.State != flow.StateSynRcvd {
+		t.Fatalf("SYN-ACK: %+v state=%v", out.Segs, h.t.State)
+	}
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: 1001, HasWnd: true, Wnd: 4096})
+	if h.t.State != flow.StateEstablished || hasNote(out.Notes, NoteEstablished) == nil {
+		t.Fatalf("final ack: state=%v", h.t.State)
+	}
+}
+
+func TestSendWithinWindows(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(500)})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 500 {
+		t.Fatalf("send: %+v", out.Segs)
+	}
+	if h.t.SndNxt != h.t.SndUna.Add(500) {
+		t.Fatalf("SndNxt = %d", h.t.SndNxt)
+	}
+	if h.t.RetransAt == 0 {
+		t.Fatal("RTO not armed with data in flight")
+	}
+}
+
+func TestSendRespectsCongestionWindow(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.t.Cwnd = 1000
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(5000)})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 1000 {
+		t.Fatalf("cwnd-clipped send: %+v", out.Segs)
+	}
+}
+
+func TestSendRespectsPeerWindow(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.t.SndWnd = 300
+	h.t.Cwnd = 1 << 20
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(5000)})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 300 {
+		t.Fatalf("peer-window-clipped send: %+v", out.Segs)
+	}
+	// The window is small but nonzero: no persist timer yet (ACKs for
+	// the in-flight bytes will clock further sends).
+	if h.t.ProbeAt != 0 {
+		t.Fatal("persist timer armed on a nonzero window")
+	}
+	// The peer now advertises a zero window: persist arms.
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 0})
+	if h.t.ProbeAt == 0 {
+		t.Fatal("persist timer not armed on zero window")
+	}
+}
+
+func TestAckReleasesAndNotifies(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(500)})
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 65535})
+	n := hasNote(out.Notes, NoteDataAcked)
+	if n == nil || n.Seq != h.t.SndUna {
+		t.Fatalf("acked note: %+v", out.Notes)
+	}
+	if h.t.RetransAt != 0 {
+		t.Fatal("RTO still armed with nothing outstanding")
+	}
+}
+
+func TestReceiveDeliversAndAcks(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasData: true, RcvData: h.t.RcvNxt.Add(3000)})
+	if n := hasNote(out.Notes, NoteDataDelivered); n == nil || n.Seq != h.t.RcvNxt {
+		t.Fatalf("deliver note: %+v", out.Notes)
+	}
+	// 3000 B ≥ 2 MSS: the delayed-ACK rule sends the ACK immediately.
+	if hasFlag(out.Segs, wire.FlagACK) == nil {
+		t.Fatalf("no ack for 2+ MSS of data: %+v", out.Segs)
+	}
+}
+
+func TestDelayedAckSmallData(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasData: true, RcvData: h.t.RcvNxt.Add(100)})
+	if len(out.Segs) != 0 {
+		t.Fatalf("small data acked immediately despite delack: %+v", out.Segs)
+	}
+	if h.t.DelAckAt == 0 {
+		t.Fatal("delack timer not armed")
+	}
+	// The timer fires: the ACK goes out.
+	out = h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TODelAck})
+	if hasFlag(out.Segs, wire.FlagACK) == nil {
+		t.Fatal("delack timer did not flush the ack")
+	}
+}
+
+func TestFastRetransmitOnTripleDup(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(5000)})
+	first := h.t.SndUna
+	// Two dups: nothing yet.
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, IsDupAck: true})
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, IsDupAck: true})
+	if len(out.Segs) != 0 {
+		t.Fatalf("retransmit before 3 dups: %+v", out.Segs)
+	}
+	// Third dup: retransmit the first unacked segment, enter recovery.
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, IsDupAck: true})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || !op.Retransmit || op.Seq != first {
+		t.Fatalf("fast retransmit: %+v", out.Segs)
+	}
+	if !h.t.InRecovery {
+		t.Fatal("not in recovery")
+	}
+	// A partial ACK retransmits the next hole.
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: first.Add(1460), HasWnd: true, Wnd: 65535})
+	op = hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || !op.Retransmit || op.Seq != first.Add(1460) {
+		t.Fatalf("partial-ack retransmit: %+v", out.Segs)
+	}
+	// Full ACK exits recovery.
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.RecoverSeq, HasWnd: true, Wnd: 65535})
+	if h.t.InRecovery {
+		t.Fatal("recovery did not end at the recovery point")
+	}
+}
+
+func TestRTORetransmitsAndBacksOff(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(500)})
+	out := h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TORetrans})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || !op.Retransmit || op.Seq != h.t.SndUna {
+		t.Fatalf("RTO retransmit: %+v", out.Segs)
+	}
+	if h.t.Backoff != 1 {
+		t.Fatalf("backoff = %d", h.t.Backoff)
+	}
+	d1 := h.t.RetransAt - h.now
+	h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TORetrans})
+	d2 := h.t.RetransAt - h.now
+	if d2 <= d1 {
+		t.Fatalf("RTO did not back off: %d then %d", d1, d2)
+	}
+}
+
+func TestZeroWindowProbe(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.t.SndWnd = 0
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(500)})
+	out := h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TOProbe})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 1 {
+		t.Fatalf("persist probe: %+v", out.Segs)
+	}
+}
+
+func TestCloseHandshakeInitiator(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlClose})
+	fin := hasFlag(out.Segs, wire.FlagFIN)
+	if fin == nil || h.t.State != flow.StateFinWait1 {
+		t.Fatalf("FIN: %+v state=%v", out.Segs, h.t.State)
+	}
+	// FIN acked → FIN_WAIT_2.
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 65535})
+	if h.t.State != flow.StateFinWait2 {
+		t.Fatalf("state after FIN ack: %v", h.t.State)
+	}
+	// Peer FIN → TIME_WAIT + notify.
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxFIN, FinSeq: h.t.RcvNxt})
+	if h.t.State != flow.StateTimeWait || hasNote(out.Notes, NotePeerClosed) == nil {
+		t.Fatalf("peer FIN: state=%v", h.t.State)
+	}
+	if h.t.TimeWaitAt == 0 {
+		t.Fatal("TIME_WAIT timer not armed")
+	}
+	// 2MSL expiry frees the flow.
+	out = h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TOTimeWait})
+	if !out.FreeFlow || hasNote(out.Notes, NoteClosed) == nil {
+		t.Fatal("TIME_WAIT expiry did not free the flow")
+	}
+}
+
+func TestCloseResponderPath(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	// Peer closes first.
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxFIN, FinSeq: h.t.RcvNxt})
+	if h.t.State != flow.StateCloseWait {
+		t.Fatalf("state = %v", h.t.State)
+	}
+	// We close: LAST_ACK, then the final ack frees.
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlClose})
+	if hasFlag(out.Segs, wire.FlagFIN) == nil || h.t.State != flow.StateLastAck {
+		t.Fatalf("LAST_ACK: %v", h.t.State)
+	}
+	out = h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 65535})
+	if !out.FreeFlow || h.t.State != flow.StateClosed {
+		t.Fatalf("final state = %v free=%v", h.t.State, out.FreeFlow)
+	}
+}
+
+func TestOutOfOrderFINWaitsForData(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	// FIN arrives with a data gap: it must wait.
+	finSeq := h.t.RcvNxt.Add(1000)
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxFIN, FinSeq: finSeq})
+	if h.t.State != flow.StateEstablished || h.t.RcvFin {
+		t.Fatalf("premature FIN consumption: %v", h.t.State)
+	}
+	// The gap fills: now the FIN is consumed.
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasData: true, RcvData: finSeq})
+	if h.t.State != flow.StateCloseWait || hasNote(out.Notes, NotePeerClosed) == nil {
+		t.Fatalf("FIN after gap fill: %v", h.t.State)
+	}
+}
+
+func TestRSTTearsDown(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST})
+	if !out.FreeFlow || hasNote(out.Notes, NoteReset) == nil || h.t.State != flow.StateClosed {
+		t.Fatalf("RST handling: %+v", out.Notes)
+	}
+}
+
+func TestAbortEmitsRST(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlAbort})
+	if hasFlag(out.Segs, wire.FlagRST) == nil || !out.FreeFlow {
+		t.Fatalf("abort: %+v", out.Segs)
+	}
+}
+
+func TestAccumulatedEventsProcessAtomically(t *testing.T) {
+	// The headline §4.2 property: many accumulated send requests process
+	// as one pass, emitting one coalesced transfer.
+	h := newHarness()
+	h.establish(t)
+	var row flow.EventRow
+	req := h.t.SndNxt
+	for i := 0; i < 8; i++ {
+		req = req.Add(100)
+		ev := flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: req}
+		row.Accumulate(&ev)
+	}
+	row.MergeInto(h.t)
+	h.out.Reset()
+	Process(h.t, h.alg, &h.cfg, h.now+5000, &h.out)
+	op := hasFlag(h.out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 800 {
+		t.Fatalf("accumulated send = %+v, want one 800 B op", h.out.Segs)
+	}
+}
+
+func TestRTTEstimatorUpdates(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, HasReq: true, Req: h.t.SndNxt.Add(500)})
+	if !h.t.RTTTiming {
+		t.Fatal("no RTT sample in flight")
+	}
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 65535})
+	if h.t.SRTT == 0 || h.t.RTO < h.cfg.MinRTO {
+		t.Fatalf("SRTT=%d RTO=%d", h.t.SRTT, h.t.RTO)
+	}
+}
+
+func TestActionableChecks(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	base := *h.t
+
+	// Idle flow: not actionable.
+	tcb := base
+	if Actionable(&tcb) {
+		t.Fatal("idle flow actionable")
+	}
+	// Pending send within window: actionable.
+	tcb = base
+	tcb.In.Req = tcb.SndNxt.Add(100)
+	tcb.In.Valid = flow.VReq
+	if !Actionable(&tcb) {
+		t.Fatal("sendable flow not actionable")
+	}
+	// Pending send with closed windows: not actionable (wait in DRAM).
+	tcb = base
+	tcb.SndWnd = 0
+	tcb.In.Req = tcb.SndNxt.Add(100)
+	tcb.In.Valid = flow.VReq
+	if Actionable(&tcb) {
+		t.Fatal("window-blocked flow actionable")
+	}
+	// Timeout: always actionable.
+	tcb = base
+	tcb.In.Timeouts = flow.TORetrans
+	tcb.In.Valid = flow.VTimeouts
+	if !Actionable(&tcb) {
+		t.Fatal("timeout not actionable")
+	}
+	// New in-order data: actionable (ack + delivery owed).
+	tcb = base
+	tcb.In.RcvData = tcb.RcvNxt.Add(10)
+	tcb.In.Valid = flow.VData
+	if !Actionable(&tcb) {
+		t.Fatal("received data not actionable")
+	}
+	// Window update with nothing to send: not actionable.
+	tcb = base
+	tcb.In.Wnd = tcb.SndWnd + 1000
+	tcb.In.Valid = flow.VWnd
+	if Actionable(&tcb) {
+		t.Fatal("irrelevant window update actionable")
+	}
+}
+
+func TestKeepaliveProbesAndReset(t *testing.T) {
+	h := newHarness()
+	h.cfg.KeepaliveIdle = 5_000_000 // 5 ms
+	h.cfg.KeepaliveIvl = 1_000_000  // 1 ms
+	h.cfg.KeepaliveCnt = 3
+	h.establish(t)
+	if h.t.KeepaliveAt == 0 {
+		t.Fatal("keepalive timer not armed on an idle established flow")
+	}
+
+	// First expiry: a one-byte probe at SndUna−1.
+	out := h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TOKeepalive})
+	op := hasFlag(out.Segs, wire.FlagACK)
+	if op == nil || op.Len != 1 || op.Seq != h.t.SndUna.Sub(1) {
+		t.Fatalf("keepalive probe: %+v", out.Segs)
+	}
+	if h.t.KeepaliveMisses != 1 {
+		t.Fatalf("misses = %d", h.t.KeepaliveMisses)
+	}
+
+	// A response (duplicate ACK) resets the count.
+	h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, IsDupAck: true})
+	if h.t.KeepaliveMisses != 0 {
+		t.Fatalf("misses after peer response = %d", h.t.KeepaliveMisses)
+	}
+
+	// Silence through the full probe budget resets the connection.
+	var last *Actions
+	for i := 0; i < 4; i++ {
+		last = h.feed(flow.Event{Kind: flow.EvTimeout, Flow: 1, Timeouts: flow.TOKeepalive})
+	}
+	if hasFlag(last.Segs, wire.FlagRST) == nil || !last.FreeFlow {
+		t.Fatalf("dead peer not reset: %+v", last.Segs)
+	}
+	if hasNote(last.Notes, NoteReset) == nil {
+		t.Fatal("no reset notification")
+	}
+}
+
+func TestKeepaliveDisabledByDefault(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	if h.t.KeepaliveAt != 0 {
+		t.Fatal("keepalive armed despite being disabled")
+	}
+}

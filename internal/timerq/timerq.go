@@ -1,0 +1,103 @@
+// Package timerq implements the timer module of §4.1.2 ③: per-flow timer
+// deadlines generating timeout events. It is a lazy-deletion min-heap —
+// re-arming pushes a new entry and stale pops are validated against the
+// TCB's current deadline, which keeps Arm O(log n) with no cancel path,
+// the same trade a hardware timer wheel makes.
+package timerq
+
+import (
+	"container/heap"
+
+	"f4t/internal/flow"
+)
+
+// entry is one scheduled expiry.
+type entry struct {
+	at   int64 // ns deadline
+	id   flow.ID
+	kind uint8 // flow.TO* bit
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Queue holds pending timer deadlines for many flows.
+type Queue struct {
+	h entryHeap
+}
+
+// New returns an empty timer queue.
+func New() *Queue { return &Queue{} }
+
+// Len returns the number of pending (possibly stale) entries.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Arm schedules a timeout of the given kind for the flow at ns deadline
+// `at` (ignored when 0 = disarmed).
+func (q *Queue) Arm(id flow.ID, kind uint8, at int64) {
+	if at <= 0 {
+		return
+	}
+	heap.Push(&q.h, entry{at: at, id: id, kind: kind})
+}
+
+// SyncFromTCB arms entries for every non-zero deadline in the TCB. Call
+// after a processing pass; stale earlier entries are filtered at expiry.
+func (q *Queue) SyncFromTCB(t *flow.TCB) {
+	q.Arm(t.FlowID, flow.TORetrans, t.RetransAt)
+	q.Arm(t.FlowID, flow.TOProbe, t.ProbeAt)
+	q.Arm(t.FlowID, flow.TODelAck, t.DelAckAt)
+	q.Arm(t.FlowID, flow.TOTimeWait, t.TimeWaitAt)
+	q.Arm(t.FlowID, flow.TOKeepalive, t.KeepaliveAt)
+}
+
+// Expire pops every entry due at or before nowNS, validates it against
+// the flow's current deadline via lookup, and invokes fire for the live
+// ones. lookup returns nil for freed flows (entries are discarded).
+func (q *Queue) Expire(nowNS int64, lookup func(flow.ID) *flow.TCB, fire func(id flow.ID, kind uint8)) {
+	for len(q.h) > 0 && q.h[0].at <= nowNS {
+		e := heap.Pop(&q.h).(entry)
+		t := lookup(e.id)
+		if t == nil {
+			continue
+		}
+		var current int64
+		switch e.kind {
+		case flow.TORetrans:
+			current = t.RetransAt
+		case flow.TOProbe:
+			current = t.ProbeAt
+		case flow.TODelAck:
+			current = t.DelAckAt
+		case flow.TOTimeWait:
+			current = t.TimeWaitAt
+		case flow.TOKeepalive:
+			current = t.KeepaliveAt
+		}
+		// Stale when the deadline moved or was disarmed since this entry
+		// was pushed.
+		if current == 0 || current > nowNS {
+			continue
+		}
+		fire(e.id, e.kind)
+	}
+}
+
+// NextDeadline returns the earliest pending deadline, or 0 when empty.
+func (q *Queue) NextDeadline() int64 {
+	if len(q.h) == 0 {
+		return 0
+	}
+	return q.h[0].at
+}

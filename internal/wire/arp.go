@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPPacket is an Ethernet/IPv4 ARP body (RFC 826), 28 bytes on the wire.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  Addr
+	TargetMAC MAC
+	TargetIP  Addr
+}
+
+// EncodeARP writes the ARP body into b (at least ARPBodyLen bytes) and
+// returns ARPBodyLen.
+func EncodeARP(b []byte, p *ARPPacket) int {
+	_ = b[ARPBodyLen-1]
+	binary.BigEndian.PutUint16(b[0:], 1)      // hardware type: Ethernet
+	binary.BigEndian.PutUint16(b[2:], 0x0800) // protocol type: IPv4
+	b[4] = 6                                  // hardware size
+	b[5] = 4                                  // protocol size
+	binary.BigEndian.PutUint16(b[6:], p.Op)
+	copy(b[8:14], p.SenderMAC[:])
+	binary.BigEndian.PutUint32(b[14:], uint32(p.SenderIP))
+	copy(b[18:24], p.TargetMAC[:])
+	binary.BigEndian.PutUint32(b[24:], uint32(p.TargetIP))
+	return ARPBodyLen
+}
+
+// DecodeARP parses an ARP body from b.
+func DecodeARP(b []byte) (ARPPacket, error) {
+	if len(b) < ARPBodyLen {
+		return ARPPacket{}, fmt.Errorf("wire: ARP body truncated: %d bytes", len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:]); ht != 1 {
+		return ARPPacket{}, fmt.Errorf("wire: unsupported ARP hardware type %d", ht)
+	}
+	if pt := binary.BigEndian.Uint16(b[2:]); pt != 0x0800 {
+		return ARPPacket{}, fmt.Errorf("wire: unsupported ARP protocol type %#04x", pt)
+	}
+	var p ARPPacket
+	p.Op = binary.BigEndian.Uint16(b[6:])
+	copy(p.SenderMAC[:], b[8:14])
+	p.SenderIP = Addr(binary.BigEndian.Uint32(b[14:]))
+	copy(p.TargetMAC[:], b[18:24])
+	p.TargetIP = Addr(binary.BigEndian.Uint32(b[24:]))
+	return p, nil
+}

@@ -1,0 +1,53 @@
+package wire
+
+// Checksum computes the RFC 1071 internet checksum over data with the
+// given initial partial sum (use 0 to start). The returned value is the
+// one's-complement of the one's-complement sum.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		sum += uint32(data[i]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PartialSum folds data into a running partial sum without complementing,
+// so multi-part checksums (pseudo-header + header + payload) compose.
+func PartialSum(data []byte, sum uint32) uint32 {
+	i := 0
+	for ; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < len(data) {
+		sum += uint32(data[i]) << 8
+	}
+	return sum
+}
+
+// FinishSum folds the carries of a partial sum and complements it.
+func FinishSum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum returns the TCP/UDP pseudo-header partial sum for the
+// given addresses, protocol, and L4 length.
+func PseudoHeaderSum(src, dst Addr, proto uint8, l4len uint16) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EthHeader is an Ethernet II frame header (FCS handled as a length-only
+// trailer by the link model).
+type EthHeader struct {
+	Dst  MAC
+	Src  MAC
+	Type uint16
+}
+
+// EncodeEth writes the header into b (at least EthHeaderLen bytes) and
+// returns EthHeaderLen.
+func EncodeEth(b []byte, h *EthHeader) int {
+	_ = b[EthHeaderLen-1]
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:], h.Type)
+	return EthHeaderLen
+}
+
+// DecodeEth parses an Ethernet header from b.
+func DecodeEth(b []byte) (EthHeader, int, error) {
+	if len(b) < EthHeaderLen {
+		return EthHeader{}, 0, fmt.Errorf("wire: Ethernet header truncated: %d bytes", len(b))
+	}
+	var h EthHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:])
+	return h, EthHeaderLen, nil
+}

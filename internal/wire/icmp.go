@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMP message types handled by FtEngine's diagnostics path (§4.1.2).
+const (
+	ICMPEchoReply   uint8 = 0
+	ICMPEchoRequest uint8 = 8
+)
+
+// ICMPEcho is an ICMP echo request/reply header (8 bytes) plus payload.
+type ICMPEcho struct {
+	Type uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// EncodeICMPEcho writes the echo header and payload into b, computing the
+// checksum over both, and returns the total length.
+func EncodeICMPEcho(b []byte, m *ICMPEcho, payload []byte) int {
+	n := ICMPHeaderLen + len(payload)
+	_ = b[n-1]
+	b[0] = m.Type
+	b[1] = 0 // code
+	binary.BigEndian.PutUint16(b[2:], 0)
+	binary.BigEndian.PutUint16(b[4:], m.ID)
+	binary.BigEndian.PutUint16(b[6:], m.Seq)
+	copy(b[ICMPHeaderLen:], payload)
+	cs := Checksum(b[:n], 0)
+	binary.BigEndian.PutUint16(b[2:], cs)
+	return n
+}
+
+// DecodeICMPEcho parses an ICMP echo message and returns the header and
+// payload. The checksum is verified.
+func DecodeICMPEcho(b []byte) (ICMPEcho, []byte, error) {
+	if len(b) < ICMPHeaderLen {
+		return ICMPEcho{}, nil, fmt.Errorf("wire: ICMP truncated: %d bytes", len(b))
+	}
+	if Checksum(b, 0) != 0 {
+		return ICMPEcho{}, nil, fmt.Errorf("wire: ICMP checksum mismatch")
+	}
+	m := ICMPEcho{
+		Type: b[0],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+	}
+	return m, b[ICMPHeaderLen:], nil
+}

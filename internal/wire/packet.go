@@ -1,0 +1,187 @@
+package wire
+
+import "fmt"
+
+// Kind discriminates the packet types the simulation carries.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindTCP Kind = iota
+	KindARP
+	KindICMP
+)
+
+// Packet is the structured representation of one frame on the simulated
+// link. Components exchange *Packet values; Marshal/Unmarshal provide the
+// byte-accurate form used by codec tests and the RX parser's parsing path.
+//
+// Payload semantics: PayloadLen is authoritative for wire sizing. Payload
+// may be nil for modelled-only transfers (throughput experiments that do
+// not inspect bytes); when non-nil, len(Payload) == PayloadLen and the
+// bytes travel end to end (protocol correctness tests).
+type Packet struct {
+	Kind Kind
+
+	Eth  EthHeader
+	IP   IPv4Header // KindTCP/KindICMP
+	TCP  TCPHeader  // KindTCP
+	ARP  ARPPacket  // KindARP
+	ICMP ICMPEcho   // KindICMP
+
+	PayloadLen int
+	Payload    []byte
+
+	// HeaderOnly marks packets of the §6 header-processing rig: sequence
+	// arithmetic still honours PayloadLen, but the payload neither
+	// crosses PCIe nor occupies link bandwidth, so WireLen counts only
+	// the headers.
+	HeaderOnly bool
+}
+
+// FrameLen returns the Ethernet frame length (headers + payload + FCS),
+// excluding preamble and inter-frame gap.
+func (p *Packet) FrameLen() int {
+	var n int
+	pl := p.PayloadLen
+	if p.HeaderOnly {
+		pl = 0
+	}
+	switch p.Kind {
+	case KindTCP:
+		n = EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + pl + EthFCSLen
+	case KindARP:
+		n = EthHeaderLen + ARPBodyLen + EthFCSLen
+	case KindICMP:
+		n = EthHeaderLen + IPv4HeaderLen + ICMPHeaderLen + pl + EthFCSLen
+	}
+	if n < MinFrameLen {
+		n = MinFrameLen
+	}
+	return n
+}
+
+// WireLen returns the full serialization cost on the link, including
+// preamble and inter-frame gap — the 78 B overhead of §5.1 for TCP.
+func (p *Packet) WireLen() int {
+	return p.FrameLen() + PreambleLen + InterFrameGap
+}
+
+// Tuple returns the TCP 4-tuple from the receiver's perspective (local =
+// IP destination). Only valid for KindTCP.
+func (p *Packet) Tuple() FourTuple {
+	return FourTuple{
+		LocalAddr:  p.IP.Dst,
+		RemoteAddr: p.IP.Src,
+		LocalPort:  p.TCP.DstPort,
+		RemotePort: p.TCP.SrcPort,
+	}
+}
+
+// Marshal encodes the packet into wire bytes (without preamble/IFG/FCS
+// padding — the logical frame contents). TCP and ICMP checksums are
+// computed; PayloadLen must equal len(Payload) when Payload is non-nil.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p.Payload != nil && len(p.Payload) != p.PayloadLen {
+		return nil, fmt.Errorf("wire: payload length mismatch: have %d want %d", len(p.Payload), p.PayloadLen)
+	}
+	switch p.Kind {
+	case KindARP:
+		b := make([]byte, EthHeaderLen+ARPBodyLen)
+		eth := p.Eth
+		eth.Type = EtherTypeARP
+		EncodeEth(b, &eth)
+		EncodeARP(b[EthHeaderLen:], &p.ARP)
+		return b, nil
+	case KindICMP:
+		total := IPv4HeaderLen + ICMPHeaderLen + p.PayloadLen
+		b := make([]byte, EthHeaderLen+total)
+		eth := p.Eth
+		eth.Type = EtherTypeIPv4
+		EncodeEth(b, &eth)
+		ip := p.IP
+		ip.TotalLen = uint16(total)
+		ip.Protocol = ProtoICMP
+		if ip.TTL == 0 {
+			ip.TTL = DefaultTTL
+		}
+		EncodeIPv4(b[EthHeaderLen:], &ip)
+		EncodeICMPEcho(b[EthHeaderLen+IPv4HeaderLen:], &p.ICMP, p.Payload)
+		return b, nil
+	case KindTCP:
+		total := IPv4HeaderLen + TCPHeaderLen + p.PayloadLen
+		b := make([]byte, EthHeaderLen+total)
+		eth := p.Eth
+		eth.Type = EtherTypeIPv4
+		EncodeEth(b, &eth)
+		ip := p.IP
+		ip.TotalLen = uint16(total)
+		ip.Protocol = ProtoTCP
+		if ip.TTL == 0 {
+			ip.TTL = DefaultTTL
+		}
+		EncodeIPv4(b[EthHeaderLen:], &ip)
+		tcpb := b[EthHeaderLen+IPv4HeaderLen:]
+		EncodeTCP(tcpb, &p.TCP)
+		copy(tcpb[TCPHeaderLen:], p.Payload)
+		cs := TCPChecksum(ip.Src, ip.Dst, tcpb[:TCPHeaderLen], tcpb[TCPHeaderLen:])
+		tcpb[16] = byte(cs >> 8)
+		tcpb[17] = byte(cs)
+		return b, nil
+	}
+	return nil, fmt.Errorf("wire: unknown packet kind %d", p.Kind)
+}
+
+// Unmarshal parses wire bytes into a structured packet, verifying IP and
+// TCP/ICMP checksums.
+func Unmarshal(b []byte) (*Packet, error) {
+	eth, n, err := DecodeEth(b)
+	if err != nil {
+		return nil, err
+	}
+	body := b[n:]
+	switch eth.Type {
+	case EtherTypeARP:
+		arp, err := DecodeARP(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Packet{Kind: KindARP, Eth: eth, ARP: arp}, nil
+	case EtherTypeIPv4:
+		ip, ihl, err := DecodeIPv4(body)
+		if err != nil {
+			return nil, err
+		}
+		if int(ip.TotalLen) > len(body) {
+			return nil, fmt.Errorf("wire: IPv4 total length %d exceeds frame %d", ip.TotalLen, len(body))
+		}
+		l4 := body[ihl:ip.TotalLen]
+		switch ip.Protocol {
+		case ProtoTCP:
+			hdr, off, err := DecodeTCP(l4)
+			if err != nil {
+				return nil, err
+			}
+			payload := l4[off:]
+			want := TCPChecksum(ip.Src, ip.Dst, l4[:off], payload)
+			if hdr.Checksum != want {
+				return nil, fmt.Errorf("wire: TCP checksum mismatch: have %#04x want %#04x", hdr.Checksum, want)
+			}
+			pl := make([]byte, len(payload))
+			copy(pl, payload)
+			return &Packet{Kind: KindTCP, Eth: eth, IP: ip, TCP: hdr, PayloadLen: len(pl), Payload: pl}, nil
+		case ProtoICMP:
+			m, payload, err := DecodeICMPEcho(l4)
+			if err != nil {
+				return nil, err
+			}
+			pl := make([]byte, len(payload))
+			copy(pl, payload)
+			return &Packet{Kind: KindICMP, Eth: eth, IP: ip, ICMP: m, PayloadLen: len(pl), Payload: pl}, nil
+		default:
+			return nil, fmt.Errorf("wire: unsupported IP protocol %d", ip.Protocol)
+		}
+	default:
+		return nil, fmt.Errorf("wire: unsupported ethertype %#04x", eth.Type)
+	}
+}

@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"f4t/internal/seqnum"
+)
+
+// TCP header flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+	FlagURG uint8 = 1 << 5
+	FlagECE uint8 = 1 << 6 // ECN echo (RFC 3168)
+	FlagCWR uint8 = 1 << 7 // congestion window reduced
+)
+
+// TCPHeader is a fixed-size (no options) TCP header. F4T's data path
+// generates plain 20 B headers; window scaling is applied out of band by
+// the advertised-window computation.
+type TCPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      seqnum.Value
+	Ack      seqnum.Value
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+}
+
+// EncodeTCP writes the header into b (which must be at least
+// TCPHeaderLen bytes) and returns TCPHeaderLen.
+func EncodeTCP(b []byte, h *TCPHeader) int {
+	_ = b[TCPHeaderLen-1]
+	binary.BigEndian.PutUint16(b[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:], uint32(h.Seq))
+	binary.BigEndian.PutUint32(b[8:], uint32(h.Ack))
+	b[12] = (TCPHeaderLen / 4) << 4 // data offset, no options
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:], h.Window)
+	binary.BigEndian.PutUint16(b[16:], h.Checksum)
+	binary.BigEndian.PutUint16(b[18:], h.Urgent)
+	return TCPHeaderLen
+}
+
+// DecodeTCP parses a TCP header from b. It returns the header and the
+// data offset in bytes, or an error for truncated or malformed input.
+func DecodeTCP(b []byte) (TCPHeader, int, error) {
+	if len(b) < TCPHeaderLen {
+		return TCPHeader{}, 0, fmt.Errorf("wire: TCP header truncated: %d bytes", len(b))
+	}
+	off := int(b[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(b) {
+		return TCPHeader{}, 0, fmt.Errorf("wire: bad TCP data offset %d", off)
+	}
+	return TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:]),
+		DstPort:  binary.BigEndian.Uint16(b[2:]),
+		Seq:      seqnum.Value(binary.BigEndian.Uint32(b[4:])),
+		Ack:      seqnum.Value(binary.BigEndian.Uint32(b[8:])),
+		Flags:    b[13],
+		Window:   binary.BigEndian.Uint16(b[14:]),
+		Checksum: binary.BigEndian.Uint16(b[16:]),
+		Urgent:   binary.BigEndian.Uint16(b[18:]),
+	}, off, nil
+}
+
+// TCPChecksum computes the TCP checksum for the header+payload with the
+// pseudo header. The header's Checksum field is treated as zero.
+func TCPChecksum(src, dst Addr, hdr []byte, payload []byte) uint16 {
+	sum := PseudoHeaderSum(src, dst, ProtoTCP, uint16(len(hdr)+len(payload)))
+	// Fold header with the checksum field zeroed.
+	sum = PartialSum(hdr[:16], sum)
+	sum = PartialSum(hdr[18:], sum)
+	sum = PartialSum(payload, sum)
+	return FinishSum(sum)
+}
+
+// FlagString renders TCP flags like "SYN|ACK" for diagnostics.
+func FlagString(f uint8) string {
+	names := []struct {
+		bit  uint8
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+		{FlagECE, "ECE"}, {FlagCWR, "CWR"},
+	}
+	out := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		out = "-"
+	}
+	return out
+}

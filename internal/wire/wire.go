@@ -1,0 +1,111 @@
+// Package wire defines the packet formats F4T speaks on the simulated
+// link — Ethernet, ARP, IPv4, ICMP and TCP — with byte-accurate encoding,
+// the internet checksum, and the per-packet wire overhead constants that
+// the paper's goodput arithmetic depends on (§5.1).
+package wire
+
+import "fmt"
+
+// Wire size constants. The paper counts 78 B of per-packet overhead:
+// 40 B TCP/IP headers, 18 B Ethernet header (incl. FCS), 8 B preamble and
+// 12 B inter-frame gap (§5.1).
+const (
+	EthHeaderLen  = 14 // dst MAC, src MAC, ethertype
+	EthFCSLen     = 4
+	PreambleLen   = 8
+	InterFrameGap = 12
+	IPv4HeaderLen = 20
+	TCPHeaderLen  = 20
+	ICMPHeaderLen = 8
+	ARPBodyLen    = 28
+
+	// HeaderOverhead is the L2+L3+L4 header bytes of a plain TCP segment.
+	HeaderOverhead = EthHeaderLen + EthFCSLen + IPv4HeaderLen + TCPHeaderLen // 58
+	// PacketOverhead is the full per-packet wire cost beyond the payload.
+	PacketOverhead = HeaderOverhead + PreambleLen + InterFrameGap // 78
+
+	// MinFrameLen is the minimum Ethernet frame (header+payload+FCS).
+	MinFrameLen = 64
+)
+
+// EtherType values used by the simulation.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+)
+
+// ECN codepoints (RFC 3168, the low two bits of the IP TOS byte).
+const (
+	ECNNotECT uint8 = 0 // not ECN-capable transport
+	ECNECT1   uint8 = 1
+	ECNECT0   uint8 = 2
+	ECNCE     uint8 = 3 // congestion experienced (router mark)
+)
+
+// Addr is an IPv4 address in host byte order.
+type Addr uint32
+
+// MakeAddr builds an Addr from dotted-quad components.
+func MakeAddr(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// String renders the address in dotted-quad form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// BroadcastMAC is the Ethernet broadcast address.
+var BroadcastMAC = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String renders the MAC in colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// FourTuple identifies a TCP flow from the local endpoint's perspective:
+// (local IP, local port, remote IP, remote port). The RX parser looks
+// flows up by the received packet's 4-tuple (§4.1.2).
+type FourTuple struct {
+	LocalAddr  Addr
+	RemoteAddr Addr
+	LocalPort  uint16
+	RemotePort uint16
+}
+
+// Reversed returns the tuple as seen from the other endpoint.
+func (t FourTuple) Reversed() FourTuple {
+	return FourTuple{
+		LocalAddr:  t.RemoteAddr,
+		RemoteAddr: t.LocalAddr,
+		LocalPort:  t.RemotePort,
+		RemotePort: t.LocalPort,
+	}
+}
+
+// String renders the tuple as "a:p -> b:q".
+func (t FourTuple) String() string {
+	return fmt.Sprintf("%v:%d->%v:%d", t.LocalAddr, t.LocalPort, t.RemoteAddr, t.RemotePort)
+}
+
+// Hash mixes the tuple into a 64-bit value (SplitMix64 over the packed
+// fields). Used by the cuckoo table, RSS, and the coalesce FIFO hash.
+func (t FourTuple) Hash() uint64 {
+	x := uint64(t.LocalAddr)<<32 | uint64(t.RemoteAddr)
+	x ^= uint64(t.LocalPort)<<48 ^ uint64(t.RemotePort)<<16 ^ 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

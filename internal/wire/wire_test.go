@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"f4t/internal/seqnum"
+)
+
+func seqnumValue(v uint32) seqnum.Value { return seqnum.Value(v) }
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	sum := Checksum(data, 0)
+	if sum != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#04x, want %#04x", sum, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	even := Checksum([]byte{0xAB, 0x00}, 0)
+	odd := Checksum([]byte{0xAB}, 0) // trailing byte pads with zero
+	if even != odd {
+		t.Fatalf("odd-length padding mismatch: %#04x vs %#04x", odd, even)
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	err := quick.Check(func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		cs := Checksum(data[2:], 0)
+		buf := append([]byte{byte(cs >> 8), byte(cs)}, data[2:]...)
+		return Checksum(buf, 0) == 0
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialSumComposition(t *testing.T) {
+	err := quick.Check(func(a, b []byte) bool {
+		// Folding in parts must equal folding the concatenation, as long
+		// as the split is on a 16-bit boundary.
+		if len(a)%2 != 0 {
+			a = append(a, 0)
+		}
+		whole := Checksum(append(append([]byte{}, a...), b...), 0)
+		parts := FinishSum(PartialSum(b, PartialSum(a, 0)))
+		return whole == parts
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuplehashDistribution(t *testing.T) {
+	// Nearby tuples must not collide in the low bits (the cuckoo bug
+	// this guards against shipped once already).
+	seen := map[uint64]bool{}
+	base := FourTuple{LocalAddr: MakeAddr(10, 0, 0, 1), RemoteAddr: MakeAddr(10, 0, 0, 2), RemotePort: 80}
+	for p := 0; p < 1024; p++ {
+		tup := base
+		tup.LocalPort = uint16(30000 + p)
+		h := tup.Hash() & 511
+		seen[h] = true
+	}
+	if len(seen) < 256 {
+		t.Fatalf("1024 sequential ports hit only %d/512 buckets", len(seen))
+	}
+}
+
+func TestTupleReversed(t *testing.T) {
+	tup := FourTuple{LocalAddr: 1, RemoteAddr: 2, LocalPort: 3, RemotePort: 4}
+	r := tup.Reversed()
+	if r.LocalAddr != 2 || r.RemoteAddr != 1 || r.LocalPort != 4 || r.RemotePort != 3 {
+		t.Fatalf("reversed = %+v", r)
+	}
+	if r.Reversed() != tup {
+		t.Fatal("double reversal is not identity")
+	}
+}
+
+func TestTCPHeaderRoundTrip(t *testing.T) {
+	err := quick.Check(func(src, dst uint16, seq, ack uint32, flags uint8, wnd uint16) bool {
+		h := TCPHeader{SrcPort: src, DstPort: dst, Seq: seqnumValue(seq), Ack: seqnumValue(ack), Flags: flags & 0x3F, Window: wnd}
+		var buf [TCPHeaderLen]byte
+		EncodeTCP(buf[:], &h)
+		got, off, err := DecodeTCP(buf[:])
+		if err != nil || off != TCPHeaderLen {
+			return false
+		}
+		got.Checksum = h.Checksum
+		return got == h
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4HeaderRoundTripAndChecksum(t *testing.T) {
+	h := IPv4Header{TotalLen: 100, ID: 7, TTL: 64, Protocol: ProtoTCP, Src: MakeAddr(10, 0, 0, 1), Dst: MakeAddr(10, 0, 0, 2)}
+	var buf [IPv4HeaderLen]byte
+	EncodeIPv4(buf[:], &h)
+	got, ihl, err := DecodeIPv4(buf[:])
+	if err != nil || ihl != IPv4HeaderLen {
+		t.Fatalf("decode: %v ihl=%d", err, ihl)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.TotalLen != h.TotalLen || got.Protocol != h.Protocol {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	// Corrupt one byte: the checksum must catch it.
+	buf[15] ^= 0x40
+	if _, _, err := DecodeIPv4(buf[:]); err == nil {
+		t.Fatal("corrupted IPv4 header decoded without error")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	p := ARPPacket{
+		Op:        ARPRequest,
+		SenderMAC: MAC{1, 2, 3, 4, 5, 6},
+		SenderIP:  MakeAddr(10, 0, 0, 1),
+		TargetIP:  MakeAddr(10, 0, 0, 2),
+	}
+	var buf [ARPBodyLen]byte
+	EncodeARP(buf[:], &p)
+	got, err := DecodeARP(buf[:])
+	if err != nil || got != p {
+		t.Fatalf("ARP round trip: %v %+v", err, got)
+	}
+}
+
+func TestICMPRoundTrip(t *testing.T) {
+	m := ICMPEcho{Type: ICMPEchoRequest, ID: 42, Seq: 7}
+	payload := []byte("ping payload")
+	buf := make([]byte, ICMPHeaderLen+len(payload))
+	EncodeICMPEcho(buf, &m, payload)
+	got, pl, err := DecodeICMPEcho(buf)
+	if err != nil || got != m || !bytes.Equal(pl, payload) {
+		t.Fatalf("ICMP round trip: %v %+v %q", err, got, pl)
+	}
+	buf[9] ^= 1
+	if _, _, err := DecodeICMPEcho(buf); err == nil {
+		t.Fatal("corrupted ICMP decoded without error")
+	}
+}
+
+func TestPacketMarshalUnmarshalTCP(t *testing.T) {
+	p := &Packet{
+		Kind: KindTCP,
+		Eth:  EthHeader{Src: MAC{1}, Dst: MAC{2}},
+		IP:   IPv4Header{Src: MakeAddr(10, 0, 0, 1), Dst: MakeAddr(10, 0, 0, 2)},
+		TCP:  TCPHeader{SrcPort: 1000, DstPort: 80, Seq: 12345, Ack: 999, Flags: FlagACK | FlagPSH, Window: 500},
+	}
+	p.Payload = []byte("hello, wire format")
+	p.PayloadLen = len(p.Payload)
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TCP.Seq != p.TCP.Seq || got.TCP.Flags != p.TCP.Flags || !bytes.Equal(got.Payload, p.Payload) {
+		t.Fatalf("round trip mismatch: %+v", got.TCP)
+	}
+	// Corrupt the payload: TCP checksum must catch it.
+	b[len(b)-1] ^= 0xFF
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("corrupted TCP payload decoded without error")
+	}
+}
+
+func TestPacketMarshalUnmarshalARPICMP(t *testing.T) {
+	arp := &Packet{Kind: KindARP, Eth: EthHeader{Dst: BroadcastMAC},
+		ARP: ARPPacket{Op: ARPRequest, SenderIP: 1, TargetIP: 2}}
+	b, err := arp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil || got.Kind != KindARP || got.ARP.Op != ARPRequest {
+		t.Fatalf("ARP packet round trip: %v", err)
+	}
+
+	icmp := &Packet{Kind: KindICMP,
+		IP:   IPv4Header{Src: 1, Dst: 2},
+		ICMP: ICMPEcho{Type: ICMPEchoRequest, ID: 5, Seq: 6}}
+	b, err = icmp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = Unmarshal(b)
+	if err != nil || got.Kind != KindICMP || got.ICMP.ID != 5 {
+		t.Fatalf("ICMP packet round trip: %v", err)
+	}
+}
+
+func TestWireLenArithmetic(t *testing.T) {
+	// The §5.1 constant: a TCP packet costs payload + 78 B on the wire.
+	p := &Packet{Kind: KindTCP, PayloadLen: 128}
+	if got := p.WireLen(); got != 128+PacketOverhead {
+		t.Fatalf("WireLen(128) = %d, want %d", got, 128+PacketOverhead)
+	}
+	if PacketOverhead != 78 {
+		t.Fatalf("PacketOverhead = %d, want 78", PacketOverhead)
+	}
+	// Minimum frame: a pure ACK is padded to 64 B + preamble/IFG.
+	ack := &Packet{Kind: KindTCP, PayloadLen: 0}
+	if got := ack.WireLen(); got != MinFrameLen+PreambleLen+InterFrameGap {
+		t.Fatalf("pure ACK WireLen = %d", got)
+	}
+	// Header-only mode drops the payload from wire accounting.
+	h := &Packet{Kind: KindTCP, PayloadLen: 1460, HeaderOnly: true}
+	if got := h.WireLen(); got != MinFrameLen+PreambleLen+InterFrameGap {
+		t.Fatalf("header-only WireLen = %d", got)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if s := MakeAddr(192, 168, 1, 20).String(); s != "192.168.1.20" {
+		t.Fatalf("addr string = %q", s)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if s := FlagString(FlagSYN | FlagACK); s != "SYN|ACK" {
+		t.Fatalf("flag string = %q", s)
+	}
+	if s := FlagString(0); s != "-" {
+		t.Fatalf("empty flag string = %q", s)
+	}
+}
