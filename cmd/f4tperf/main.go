@@ -6,9 +6,11 @@
 //	f4tperf -stack f4t -pattern bulk -size 128 -cores 2
 //	f4tperf -stack linux -pattern rr -size 64 -cores 8
 //	f4tperf -stack f4t -pattern echo -flows 4096
+//	f4tperf -bench                  # kernel perf harness -> BENCH_kernel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,7 +24,15 @@ func main() {
 	size := flag.Int("size", 128, "request size in bytes")
 	cores := flag.Int("cores", 2, "sender CPU cores")
 	flows := flag.Int("flows", 1024, "concurrent flows (echo pattern)")
+	bench := flag.Bool("bench", false, "run the kernel perf-regression harness (skip vs always-step)")
+	benchOut := flag.String("benchout", "BENCH_kernel.json", "output path for -bench results")
+	quick := flag.Bool("quick", false, "shorter -bench measurement windows (CI smoke)")
 	flag.Parse()
+
+	if *bench {
+		runKernelBench(*quick, *benchOut)
+		return
+	}
 
 	switch *pattern {
 	case "bulk", "rr":
@@ -41,4 +51,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "f4tperf: unknown pattern %q\n", *pattern)
 		os.Exit(2)
 	}
+}
+
+// runKernelBench times the standard rigs with and without quiescence
+// skipping and writes the machine-readable comparison.
+func runKernelBench(quick bool, out string) {
+	res := exp.RunKernelBench(quick)
+	for _, e := range res.Entries {
+		fmt.Printf("%-22s %6.2f sim ms  skip %5.1f%%  %8.2f ms wall (was %8.2f ms)  %5.2fx\n",
+			e.Name, e.SimMS, e.SkippedPct,
+			float64(e.WallNSSkip)/1e6, float64(e.WallNSNoSkip)/1e6, e.Speedup)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4tperf: encode bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "f4tperf: write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
 }

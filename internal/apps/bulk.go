@@ -60,6 +60,29 @@ func (b *BulkSender) Tick(int64) {
 	}
 }
 
+// NextWork implements sim.Sleeper. A sender with an established flow is
+// perpetually busy modulo its core — TrySend charges the core even when
+// the send buffer is full — so idleness only comes from the dial ramp
+// and handshake waits.
+func (b *BulkSender) NextWork(now int64) int64 {
+	if !b.d.complete() {
+		return now + 1
+	}
+	next := sim.Dormant
+	for i, th := range b.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+		if len(b.d.conns[i]) > 0 && b.d.conns[i][0].Established() {
+			var stop bool
+			if next, stop = coreWake(next, th.Core(), now); stop {
+				return now + 1
+			}
+		}
+	}
+	return next
+}
+
 // RoundRobinSender is the low-locality workload of Fig 8b: each thread
 // cycles over a distinct set of flows, sending one fixed-size request to
 // each in turn ("each CPU core generates send requests in a round-robin
@@ -115,6 +138,33 @@ func (r *RoundRobinSender) Tick(int64) {
 	}
 }
 
+// NextWork implements sim.Sleeper: like BulkSender, any established
+// flow keeps the thread core-gated busy. Rotation past unestablished
+// flows is idempotent (it lands on the first established entry, and no
+// flow changes state while the kernel skips), so it is safe to defer.
+func (r *RoundRobinSender) NextWork(now int64) int64 {
+	if !r.d.complete() {
+		return now + 1
+	}
+	next := sim.Dormant
+	for i, th := range r.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+		for _, c := range r.d.conns[i] {
+			if !c.Established() {
+				continue
+			}
+			var stop bool
+			if next, stop = coreWake(next, th.Core(), now); stop {
+				return now + 1
+			}
+			break // the shared core is the gate; one flow suffices
+		}
+	}
+	return next
+}
+
 // Sink is the receive side of the transfer workloads: it accepts
 // connections and consumes everything that arrives, counting goodput.
 // Connections with data left over (core busy, more data than one recv)
@@ -161,4 +211,23 @@ func (s *Sink) Tick(int64) {
 			}
 		})
 	}
+}
+
+// NextWork implements sim.Sleeper. Pending connections always hold
+// unconsumed bytes between ticks (a fully drained connection is removed
+// the same cycle), so the only wait is for the thread's core.
+func (s *Sink) NextWork(now int64) int64 {
+	next := sim.Dormant
+	for i, th := range s.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+		if s.pending[i].Len() > 0 {
+			var stop bool
+			if next, stop = coreWake(next, th.Core(), now); stop {
+				return now + 1
+			}
+		}
+	}
+	return next
 }

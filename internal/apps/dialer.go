@@ -66,6 +66,18 @@ func (d *dialer) tick() bool {
 	return done
 }
 
+// complete reports whether every wanted connection has been dialed
+// (established or not). Until then tick actively opens connections
+// every cycle, so the owning app must report itself busy.
+func (d *dialer) complete() bool {
+	for i := range d.conns {
+		if len(d.conns[i]) < d.want {
+			return false
+		}
+	}
+	return true
+}
+
 // allEstablished reports whether every wanted connection exists and
 // finished its handshake.
 func (d *dialer) allEstablished() bool {

@@ -38,6 +38,18 @@ func (s *EchoServer) Tick(int64) {
 	}
 }
 
+// NextWork implements sim.Sleeper: the server is purely event-driven
+// (RecvQueued/SendQueued never gate on the core up front), so it only
+// acts on readiness events.
+func (s *EchoServer) NextWork(now int64) int64 {
+	for _, th := range s.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+	}
+	return sim.Dormant
+}
+
 // EchoClient runs the ping-pong side: every flow sends one fixed-size
 // message and waits for the echo before sending the next — the
 // worst-case TCB locality pattern of Fig 13 ("each flow has to wait for
@@ -141,4 +153,20 @@ func (c *EchoClient) Tick(int64) {
 			f.queued = false
 		}
 	}
+}
+
+// NextWork implements sim.Sleeper. With every flow in flight (awaiting
+// its echo) and no events pending, the client is dormant for a full
+// round trip — the dominant state of Fig 13's latency-bound sweeps and
+// the big cycle-skipping win.
+func (c *EchoClient) NextWork(now int64) int64 {
+	if !c.d.complete() {
+		return now + 1
+	}
+	for i, th := range c.threads {
+		if threadPending(th) || c.ready[i].Len() > 0 {
+			return now + 1
+		}
+	}
+	return sim.Dormant
 }

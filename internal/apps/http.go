@@ -86,6 +86,24 @@ func (s *HTTPServer) Tick(int64) {
 	}
 }
 
+// NextWork implements sim.Sleeper: queued connections wait for the
+// thread's core; everything else arrives as readiness events.
+func (s *HTTPServer) NextWork(now int64) int64 {
+	next := sim.Dormant
+	for i, th := range s.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+		if s.pending[i].Len() > 0 {
+			var stop bool
+			if next, stop = coreWake(next, th.Core(), now); stop {
+				return now + 1
+			}
+		}
+	}
+	return next
+}
+
 // serveOne handles one complete request if present: socket read, HTTP
 // parse, file fetch, response render, socket write — each charged to its
 // CPU category.
@@ -184,4 +202,31 @@ func (w *Wrk) Tick(int64) {
 			}
 		}
 	}
+}
+
+// NextWork implements sim.Sleeper. A flow awaiting its response with no
+// bytes available needs nothing until the network delivers (which wakes
+// the machine, then surfaces here as a pending event); any other
+// established flow is core-gated work.
+func (w *Wrk) NextWork(now int64) int64 {
+	if !w.d.complete() {
+		return now + 1
+	}
+	next := sim.Dormant
+	for i, th := range w.threads {
+		if threadPending(th) {
+			return now + 1
+		}
+		for _, f := range w.flows[i] {
+			if !f.conn.Established() || (f.awaiting && f.conn.Available() == 0) {
+				continue
+			}
+			var stop bool
+			if next, stop = coreWake(next, th.Core(), now); stop {
+				return now + 1
+			}
+			break // the shared core is the gate; one flow suffices
+		}
+	}
+	return next
 }

@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"f4t/internal/cpu"
+	"f4t/internal/host"
+)
+
+// This file holds the shared plumbing behind the apps' NextWork methods
+// (sim.Sleeper). Each workload reports the earliest future cycle it
+// could act — readiness events awaiting Poll, or buffered work gated on
+// its thread's core — so the kernel can skip the quiescent spans in
+// between (RTT waits in ping-pong workloads, mostly).
+//
+// The contract that keeps skipping exact: an app may only report a
+// future cycle when its Tick would be a no-op (no counter increments,
+// no externally visible state change) at every cycle before it. State
+// the apps react to — connection establishment, readiness events,
+// received bytes — only flips while a machine or engine ticks, and a
+// ticking component pins those cycles as stepped, so the app observes
+// every transition on the same cycle it would have without skipping.
+
+// eventsPending is implemented by host threads that can report whether
+// readiness events are waiting for the next Poll (both built-in hosts
+// do). It is probed by type assertion so test stubs implementing only
+// host.Thread keep working.
+type eventsPending interface {
+	EventsPending() bool
+}
+
+// threadPending reports whether a thread has readiness events queued
+// for its next Poll. Unknown thread implementations conservatively
+// report true, which pins per-cycle stepping and stays correct.
+func threadPending(th host.Thread) bool {
+	if p, ok := th.(eventsPending); ok {
+		return p.EventsPending()
+	}
+	return true
+}
+
+// coreWake folds a core-gated wake into next: the thread has work right
+// now but must wait for its core to free up. It returns the updated
+// minimum and whether the caller can stop scanning because the very
+// next cycle is already reached.
+func coreWake(next int64, core *cpu.Core, now int64) (int64, bool) {
+	w := core.NextFree(now)
+	if w <= now+1 {
+		return now + 1, true
+	}
+	if w < next {
+		next = w
+	}
+	return next, false
+}

@@ -53,8 +53,10 @@ func NewSystem(k *sim.Kernel, cfg HostConfig, remotes []wire.Addr, tx func(*wire
 
 	eng := engine.New(k, ec, tx)
 	mach := host.NewF4TMachine(k, eng, cfg.Cores, cfg.Costs, remotes)
-	k.Register(sim.TickerFunc(eng.Tick))
-	k.Register(sim.TickerFunc(mach.Tick))
+	// Direct registration (no TickerFunc wrapper) so the kernel sees the
+	// components' NextWork hints and can skip quiescent spans.
+	k.Register(eng)
+	k.Register(mach)
 	return &System{K: k, Engine: eng, Machine: mach}
 }
 

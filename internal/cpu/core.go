@@ -24,6 +24,16 @@ func (c *Core) Free() bool { return c.k.Now() >= c.busyUntil }
 // BusyUntil returns the cycle the current work finishes.
 func (c *Core) BusyUntil() int64 { return c.busyUntil }
 
+// NextFree returns the earliest cycle > now at which the core can start
+// new work — a component's contribution to sim.Sleeper.NextWork when it
+// has work queued behind this core.
+func (c *Core) NextFree(now int64) int64 {
+	if c.busyUntil > now {
+		return c.busyUntil
+	}
+	return now + 1
+}
+
 // Run executes an operation of the given CPU-cycle cost if the core is
 // free, charging it to the category. It reports whether it ran.
 func (c *Core) Run(cat Category, cpuCycles int64) bool {

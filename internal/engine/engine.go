@@ -224,6 +224,11 @@ func New(k *sim.Kernel, cfg Config, tx func(*wire.Packet)) *Engine {
 	schedCfg := sched.DefaultConfig(cfg.MaxFlows, cfg.NumFPCs)
 	schedCfg.Coalesce = cfg.Coalesce
 	e.sch = sched.New(k, schedCfg, e.fpcs, e.mem)
+	// Doorbell wakes: a host Post must pull the kernel out of a
+	// quiescent skip so the command is fetched on the next cycle.
+	for _, ch := range e.Channels {
+		ch.SetDoorbell(func() { k.Wake(e) })
+	}
 	return e
 }
 
@@ -348,6 +353,58 @@ func (e *Engine) DeliverPacket(pkt *wire.Packet) {
 	if !e.rxQueue.Push(pkt) {
 		e.RxDropped.Inc() // parser queue overrun: drop like a real NIC
 	}
+	e.K.Wake(e) // packet arrival revives a quiescent engine
+}
+
+// NextWork implements sim.Sleeper: the engine can act next cycle while
+// any stage holds work (host commands, RX frames, bounced events), and
+// otherwise at the earliest of its sub-components' own deadlines (FPU
+// pipeline retirements, DRAM access completions, pending-queue retries)
+// and the timer module's next deadline. Work in flight on kernel timers
+// (PCIe DMA, TX serialization, TCB migration reads) needs no entry
+// here — those timers bound the kernel's skip directly.
+func (e *Engine) NextWork(now int64) int64 {
+	next := sim.Dormant
+	for _, ch := range e.Channels {
+		if w := ch.NextWork(now); w <= now+1 {
+			return now + 1
+		} else if w < next {
+			next = w
+		}
+	}
+	if e.rxQueue.Len() > 0 || e.retryQ.Len() > 0 || e.toOrder.Len() > 0 {
+		return now + 1
+	}
+	if w := e.sch.NextWork(now); w < next {
+		next = w
+	}
+	if next <= now+1 {
+		return now + 1
+	}
+	for _, f := range e.fpcs {
+		if w := f.NextWork(now); w < next {
+			next = w
+		}
+		if next <= now+1 {
+			return now + 1
+		}
+	}
+	if w := e.mem.NextWork(now); w < next {
+		next = w
+	}
+	// The timer module scans for due deadlines every ticked cycle; a
+	// pending deadline D ns fires on the first tick with NowNS() >= D.
+	// Expired/stale entries are popped each tick, so after any tick the
+	// head deadline is strictly in the future.
+	if d := e.timers.NextDeadline(); d > 0 {
+		if c := sim.NSToCycles(d); c < next {
+			next = c
+		}
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
 }
 
 // Tick advances the whole engine one cycle in a fixed, deterministic

@@ -294,6 +294,33 @@ func (f *FPC) markReady(idx int) {
 	f.ready.Push(idx)
 }
 
+// NextWork implements sim.Sleeper for the engine's aggregate idleness
+// report. The accumulate-mode Tick only ever acts on its four queues
+// (incoming, input, ready, FPU pipe), so the FPC is provably idle when
+// all are empty and provably inert until the pipeline head's doneAt
+// when only passes are in flight (issues are in order with equal
+// latency, so the head retires first). Stall mode additionally charges
+// the Stalls counter every busy cycle, which forces per-cycle stepping
+// until stallBusyUntil.
+func (f *FPC) NextWork(now int64) int64 {
+	if f.cfg.Mode == ModeStall {
+		if now+1 < f.stallBusyUntil || f.incoming.Len() > 0 || f.input.Len() > 0 {
+			return now + 1
+		}
+		return sim.Dormant
+	}
+	if f.incoming.Len() > 0 || f.input.Len() > 0 || f.ready.Len() > 0 {
+		return now + 1
+	}
+	if head, ok := f.pipe.Peek(); ok {
+		if head.doneAt <= now {
+			return now + 1
+		}
+		return head.doneAt
+	}
+	return sim.Dormant
+}
+
 // Tick advances the FPC one cycle.
 func (f *FPC) Tick(cycle int64) {
 	if f.cfg.Mode == ModeStall {

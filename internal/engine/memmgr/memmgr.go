@@ -237,6 +237,24 @@ func (m *Manager) uncache(id flow.ID) {
 	}
 }
 
+// NextWork implements sim.Sleeper for the engine's aggregate idleness
+// report: a queued event starts an access immediately; in-flight
+// accesses retire strictly in order, so the head's readyAt is the next
+// cycle anything can retire even when later entries (cache hits behind
+// a miss) are nominally due earlier.
+func (m *Manager) NextWork(now int64) int64 {
+	if m.input.Len() > 0 {
+		return now + 1
+	}
+	if pe, ok := m.inFlight.Peek(); ok {
+		if pe.readyAt <= now {
+			return now + 1
+		}
+		return pe.readyAt
+	}
+	return sim.Dormant
+}
+
 // Tick advances the manager: start handling queued events (cache lookup,
 // DRAM RMW) and retire those whose memory access completed — handling
 // events "directly to TCBs in the memory" (§4.3.1).

@@ -238,6 +238,30 @@ func (s *Scheduler) RequestSwapIn(id flow.ID) {
 	s.swapReqs.Push(id)
 }
 
+// NextWork implements sim.Sleeper for the engine's aggregate idleness
+// report: routing and swap-in servicing act immediately on non-empty
+// queues; the pending queue acts at its head's retry deadline (entries
+// are pushed with monotonically nondecreasing retryAt, so the head is
+// the minimum). Migrations in flight land via kernel timers into FPC
+// incoming queues, which report their own work.
+func (s *Scheduler) NextWork(now int64) int64 {
+	for _, q := range s.fifos {
+		if q.Len() > 0 {
+			return now + 1
+		}
+	}
+	if s.swapReqs.Len() > 0 {
+		return now + 1
+	}
+	if pe, ok := s.pending.Peek(); ok {
+		if pe.retryAt <= now {
+			return now + 1
+		}
+		return pe.retryAt
+	}
+	return sim.Dormant
+}
+
 // Tick advances routing, pending retries and migrations.
 func (s *Scheduler) Tick(cycle int64) {
 	s.route(cycle)

@@ -113,10 +113,12 @@ func NewF4TPair(coresA, coresB int, costs cpu.Costs, mutate func(*engine.Config)
 	machA := host.NewF4TMachine(k, engA, coresA, costs, []wire.Addr{AddrB})
 	machB := host.NewF4TMachine(k, engB, coresB, costs, []wire.Addr{AddrA})
 
-	k.Register(sim.TickerFunc(engA.Tick))
-	k.Register(sim.TickerFunc(engB.Tick))
-	k.Register(sim.TickerFunc(machA.Tick))
-	k.Register(sim.TickerFunc(machB.Tick))
+	// Direct registration (no TickerFunc wrapper) so the kernel sees the
+	// components' NextWork hints and can skip quiescent spans.
+	k.Register(engA)
+	k.Register(engB)
+	k.Register(machA)
+	k.Register(machB)
 	return &F4TPair{K: k, Link: link, EngA: engA, EngB: engB, MachA: machA, MachB: machB}
 }
 
@@ -142,20 +144,26 @@ func NewLinuxPair(coresA, coresB int, costs cpu.Costs) *LinuxPair {
 	link.AtoB.SetSink(machB.DeliverPacket)
 	link.BtoA.SetSink(machA.DeliverPacket)
 
-	k.Register(sim.TickerFunc(machA.Tick))
-	k.Register(sim.TickerFunc(machB.Tick))
+	k.Register(machA)
+	k.Register(machB)
 	return &LinuxPair{K: k, Link: link, MachA: machA, MachB: machB}
 }
 
-// RunUntilCoarse advances in steps, checking the predicate between
-// steps — for predicates that are themselves O(flows) and must not run
-// every cycle.
+// RunUntilCoarse advances until the predicate holds, checking it at
+// most once per step cycles — for predicates that are themselves
+// O(flows) and must not run every cycle. It layers the rate limit onto
+// Kernel.RunUntil, so Stop() and cycle skipping are honored.
 func RunUntilCoarse(k *sim.Kernel, pred func() bool, step, budget int64) bool {
-	for spent := int64(0); spent < budget; spent += step {
-		if pred() {
-			return true
+	nextCheck := k.Now()
+	gated := func() bool {
+		if k.Now() < nextCheck {
+			return false
 		}
-		k.Run(step)
+		nextCheck = k.Now() + step
+		return pred()
+	}
+	if k.RunUntil(gated, budget) {
+		return true
 	}
 	return pred()
 }

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"time"
+
+	"f4t/internal/apps"
+	"f4t/internal/cpu"
+	"f4t/internal/engine"
+	"f4t/internal/sim"
+)
+
+// This file is the kernel perf-regression harness: it times identical
+// rigs under the quiescence-skipping kernel and under the historical
+// always-step loop (SetSkipping(false)), reporting wall time per
+// simulated millisecond and the skip ratio per workload. cmd/f4tperf
+// -bench writes the result as BENCH_kernel.json so regressions show up
+// as diffs.
+
+// KernelBenchEntry is one workload's skip-vs-noskip timing.
+type KernelBenchEntry struct {
+	Name          string  `json:"name"`
+	SimCycles     int64   `json:"sim_cycles"`
+	SimMS         float64 `json:"sim_ms"`
+	SkippedCycles int64   `json:"skipped_cycles"`
+	SkippedPct    float64 `json:"skipped_pct"`
+
+	WallNSSkip   int64 `json:"wall_ns_skip"`
+	WallNSNoSkip int64 `json:"wall_ns_noskip"`
+
+	// Wall nanoseconds to simulate one millisecond (250k cycles).
+	NSPerSimMSSkip   float64 `json:"ns_per_sim_ms_skip"`
+	NSPerSimMSNoSkip float64 `json:"ns_per_sim_ms_noskip"`
+
+	// Stepped (executed) cycles per wall second — the event rate the
+	// host sustains; skipped cycles cost nothing and are excluded.
+	SteppedPerSecSkip   float64 `json:"stepped_cycles_per_sec_skip"`
+	SteppedPerSecNoSkip float64 `json:"stepped_cycles_per_sec_noskip"`
+
+	Speedup float64 `json:"speedup"`
+}
+
+// KernelBench is the harness result, serialized to BENCH_kernel.json.
+type KernelBench struct {
+	Schema  string             `json:"schema"`
+	Quick   bool               `json:"quick"`
+	Entries []KernelBenchEntry `json:"entries"`
+}
+
+type benchSample struct {
+	wallNS  int64
+	cycles  int64
+	skipped int64
+}
+
+// timedRun times k.Run(measure) and reports executed-vs-skipped cycles
+// for that window only (ramp excluded).
+func timedRun(k *sim.Kernel, measure int64) benchSample {
+	start, skippedBefore := k.Now(), k.SkippedCycles()
+	t0 := time.Now()
+	k.Run(measure)
+	return benchSample{
+		wallNS:  time.Since(t0).Nanoseconds(),
+		cycles:  k.Now() - start,
+		skipped: k.SkippedCycles() - skippedBefore,
+	}
+}
+
+// benchEcho is the latency-bound end of Fig 13: a couple of ping-pong
+// flows that spend most cycles waiting out an RTT — the idle-heavy
+// workload skipping targets.
+func benchEcho(skip bool, measure int64) benchSample {
+	p := NewF4TPair(2, 2, cpu.DefaultCosts(), func(c *engine.Config) {
+		c.CarryBytes = false
+	})
+	k := p.K
+	k.SetSkipping(skip)
+	srv := apps.NewEchoServer(p.MachB.Threads(), 7001, 128)
+	k.Register(srv)
+	k.Run(2_000)
+	cli := apps.NewEchoClient(k, p.MachA.Threads(), 0, 7001, 128, 1)
+	k.Register(cli)
+	k.RunUntil(cli.Ready, 2_000_000)
+	return timedRun(k, measure)
+}
+
+// benchWrkLatency is the Fig 12 shape: a handful of keepalive HTTP
+// flows in closed-loop request/response — latency-bound, mostly idle.
+func benchWrkLatency(skip bool, measure int64) benchSample {
+	costs := cpu.DefaultCosts()
+	p := NewF4TPair(2, 2, costs, nil)
+	k := p.K
+	k.SetSkipping(skip)
+	srv := apps.NewHTTPServer(p.MachB.Threads(), 7002, 128, 256, costs)
+	k.Register(srv)
+	k.Run(2_000)
+	wrk := apps.NewWrk(k, p.MachA.Threads(), 0, 7002, 128, 256, 1, costs)
+	k.Register(wrk)
+	k.RunUntil(wrk.Ready, 2_000_000)
+	return timedRun(k, measure)
+}
+
+// benchBulk is the saturated baseline: back-to-back sends keep every
+// component busy, so skipping finds nothing — this entry guards against
+// the skip machinery slowing the common busy path.
+func benchBulk(skip bool, measure int64) benchSample {
+	p := NewF4TPair(2, 2, cpu.DefaultCosts(), nil)
+	k := p.K
+	k.SetSkipping(skip)
+	sink := apps.NewSink(p.MachB.Threads(), 7003)
+	k.Register(sink)
+	k.Run(2_000)
+	b := apps.NewBulkSender(p.MachA.Threads(), 0, 7003, 1460)
+	k.Register(b)
+	k.RunUntil(b.Ready, 1_000_000)
+	return timedRun(k, measure)
+}
+
+// RunKernelBench runs every workload in both kernel modes and returns
+// the comparison. quick shortens the windows for CI smoke runs.
+func RunKernelBench(quick bool) *KernelBench {
+	measure := int64(2_000_000) // 8 ms simulated
+	if quick {
+		measure = 250_000
+	}
+	workloads := []struct {
+		name string
+		run  func(skip bool, measure int64) benchSample
+	}{
+		{"echo-idle-fig13", benchEcho},
+		{"wrk-latency-fig12", benchWrkLatency},
+		{"bulk-saturated-fig8a", benchBulk},
+	}
+	out := &KernelBench{Schema: "f4t-kernel-bench/1", Quick: quick}
+	for _, w := range workloads {
+		s := w.run(true, measure)
+		n := w.run(false, measure)
+		simMS := float64(s.cycles) * sim.CycleNS / 1e6
+		e := KernelBenchEntry{
+			Name:          w.name,
+			SimCycles:     s.cycles,
+			SimMS:         simMS,
+			SkippedCycles: s.skipped,
+			WallNSSkip:    s.wallNS,
+			WallNSNoSkip:  n.wallNS,
+		}
+		if s.cycles > 0 {
+			e.SkippedPct = 100 * float64(s.skipped) / float64(s.cycles)
+		}
+		if simMS > 0 {
+			e.NSPerSimMSSkip = float64(s.wallNS) / simMS
+			e.NSPerSimMSNoSkip = float64(n.wallNS) / simMS
+		}
+		if s.wallNS > 0 {
+			e.SteppedPerSecSkip = float64(s.cycles-s.skipped) / float64(s.wallNS) * 1e9
+			e.Speedup = float64(n.wallNS) / float64(s.wallNS)
+		}
+		if n.wallNS > 0 {
+			e.SteppedPerSecNoSkip = float64(n.cycles) / float64(n.wallNS) * 1e9
+		}
+		out.Entries = append(out.Entries, e)
+	}
+	return out
+}

@@ -71,6 +71,26 @@ func (m *F4TMachine) Tick(cycle int64) {
 	}
 }
 
+// NextWork implements sim.Sleeper: the machine only acts when a thread
+// has completions to drain, and then only once its core frees up.
+// Completions arrive via PCIe DMA kernel timers, which bound any skip.
+func (m *F4TMachine) NextWork(now int64) int64 {
+	next := sim.Dormant
+	for _, th := range m.threads {
+		if th.lib.PendingCompletions() == 0 {
+			continue
+		}
+		w := th.core.NextFree(now)
+		if w <= now+1 {
+			return now + 1
+		}
+		if w < next {
+			next = w
+		}
+	}
+	return next
+}
+
 // f4tThread is one application thread over the F4T library.
 type f4tThread struct {
 	m     *F4TMachine
@@ -84,6 +104,10 @@ type f4tThread struct {
 
 // Core implements Thread.
 func (t *f4tThread) Core() *cpu.Core { return t.core }
+
+// EventsPending reports readiness events awaiting the app's Poll (the
+// apps' idleness probe; see apps.threadPending).
+func (t *f4tThread) EventsPending() bool { return t.lib.PendingEvents() > 0 }
 
 // Dial implements Thread. It returns nil when the command queue is full
 // (retry later).

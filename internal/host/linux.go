@@ -96,6 +96,7 @@ func (m *LinuxMachine) DeliverPacket(pkt *wire.Packet) {
 	if !m.rxq[idx].Push(pkt) {
 		m.RxDroppedFull++
 	}
+	m.k.Wake(m) // packet arrival revives a quiescent machine
 }
 
 // Tick advances the machine: each free core drains its RX queue
@@ -124,6 +125,36 @@ func (m *LinuxMachine) Tick(cycle int64) {
 		}
 	}
 	m.ep.ExpireTimers()
+}
+
+// NextWork implements sim.Sleeper: queued RX packets wait for their
+// core; stack timers fire at their deadline cycle. Packets in flight on
+// the link arrive via kernel timers (DeliverPacket then wakes the
+// machine), and socket calls run synchronously on app ticks, so neither
+// needs an entry here.
+func (m *LinuxMachine) NextWork(now int64) int64 {
+	next := sim.Dormant
+	for i, q := range m.rxq {
+		if q.Len() == 0 {
+			continue
+		}
+		w := m.pool.Cores[i].NextFree(now)
+		if w <= now+1 {
+			return now + 1
+		}
+		if w < next {
+			next = w
+		}
+	}
+	if d := m.ep.NextTimerNS(); d > 0 {
+		if c := sim.NSToCycles(d); c < next {
+			next = c
+		}
+	}
+	if next <= now {
+		return now + 1 // stale timer head: one tick pops it
+	}
+	return next
 }
 
 // groTable is a small per-queue LRU of recently merged flows, matching
@@ -160,6 +191,10 @@ type linuxThread struct {
 
 // Core implements Thread.
 func (t *linuxThread) Core() *cpu.Core { return t.core }
+
+// EventsPending reports readiness events awaiting the app's Poll (the
+// apps' idleness probe; see apps.threadPending).
+func (t *linuxThread) EventsPending() bool { return len(t.events) > 0 }
 
 // Dial implements Thread.
 func (t *linuxThread) Dial(remoteIdx int, port uint16) Conn {

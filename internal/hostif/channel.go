@@ -22,6 +22,8 @@ type Channel struct {
 
 	comps *sim.Queue[Completion] // arrived completions, host-visible
 
+	onPost func() // doorbell hook: fires on every host Post
+
 	// Stats.
 	Posted    int64
 	Fetched   int64
@@ -41,6 +43,11 @@ func NewChannel(k *sim.Kernel, pcie *PCIe, cmdBytes int64) *Channel {
 	}
 }
 
+// SetDoorbell registers a callback invoked on every host Post — the MMIO
+// doorbell. The engine uses it to wake the kernel out of a quiescent
+// skip when a command arrives.
+func (c *Channel) SetDoorbell(fn func()) { c.onPost = fn }
+
 // Post enqueues a command from the host thread. It reports false when the
 // queue is full (the library must retry — a blocking-API path, §4.6).
 func (c *Channel) Post(cmd Command) bool {
@@ -48,7 +55,21 @@ func (c *Channel) Post(cmd Command) bool {
 		return false
 	}
 	c.Posted++
+	if c.onPost != nil {
+		c.onPost()
+	}
 	return true
+}
+
+// NextWork reports the earliest cycle the channel can make progress on
+// its own: immediately while commands sit in either queue (fetch engine
+// or the engine's drain). DMA transfers in flight complete via kernel
+// timers, so they need no polling.
+func (c *Channel) NextWork(now int64) int64 {
+	if c.host.Len() > 0 || c.device.Len() > 0 {
+		return now + 1
+	}
+	return sim.Dormant
 }
 
 // HostBacklog returns commands posted but not yet fetched.

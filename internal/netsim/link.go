@@ -3,6 +3,10 @@
 // (including the 78 B per-packet overhead), propagation delay, and
 // deterministic fault injection (loss, duplication, reordering) for the
 // congestion-control and robustness experiments.
+//
+// Pipes are not tickers: every delivery is scheduled on a kernel timer
+// at Send time, so in-flight packets bound the kernel's cycle skipping
+// automatically and the package needs no NextWork hints.
 package netsim
 
 import (

@@ -1,0 +1,43 @@
+// Package sim provides the deterministic discrete-time simulation kernel
+// used by every F4T model: a 250 MHz tick clock, component registry,
+// cycle-resolution timers, seeded randomness and rate limiters.
+//
+// All simulated hardware advances in units of one engine clock cycle
+// (4 ns at 250 MHz). Components implement Ticker and are stepped once per
+// cycle in registration order, which keeps runs bit-for-bit reproducible.
+//
+// # Quiescence skipping
+//
+// The kernel is idle-aware: a component that also implements Sleeper
+// reports, via NextWork, the earliest future cycle at which it could
+// possibly act (or Dormant when only an external stimulus can revive
+// it). When every registered ticker is a Sleeper and all of them report
+// a future cycle, Run/RunUntil jump the clock directly to
+//
+//	min(earliest NextWork, earliest Wake hint, next kernel timer)
+//
+// instead of stepping through the gap one cycle at a time. The skipped
+// cycles are credited to Now(), so everything keyed off absolute cycle
+// numbers — ByteRate reservations, timer deadlines, CPU busy-until
+// times, latency histograms — observes exactly the same values as under
+// naive stepping.
+//
+// Why this preserves cycle accuracy: during a skipped span no component
+// code runs at all, so skipping from cycle N to cycle M is sound exactly
+// when ticking every component at N+1..M-1 would have been a pure no-op.
+// NextWork contracts guarantee that: a component may only report a
+// future cycle when its Tick is side-effect-free (no queue movement, no
+// counter increments, no state change) until that cycle. Work that
+// arrives from outside a component's own view — packet delivery, DMA
+// completion, TCB migration landing — is injected through kernel timers
+// (Kernel.At), which bound every skip, or signalled explicitly with
+// Wake/WakeAt at the injection point (doorbell posts, packet arrival).
+// Any registered ticker that does not implement Sleeper pins the kernel
+// to per-cycle stepping, so partial retrofits stay conservative rather
+// than wrong.
+//
+// SetSkipping(false) (or NewShadow) restores the historical always-step
+// loop; the differential tests in internal/exp run identical rigs under
+// both modes and assert bit-for-bit identical cycle-stamped counter
+// streams.
+package sim

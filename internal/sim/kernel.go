@@ -1,15 +1,10 @@
-// Package sim provides the deterministic discrete-time simulation kernel
-// used by every F4T model: a 250 MHz tick clock, component registry,
-// cycle-resolution timers, seeded randomness and rate limiters.
-//
-// All simulated hardware advances in units of one engine clock cycle
-// (4 ns at 250 MHz). Components implement Ticker and are stepped once per
-// cycle in registration order, which keeps runs bit-for-bit reproducible.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"reflect"
 )
 
 // CycleNS is the duration of one engine clock cycle in nanoseconds.
@@ -32,6 +27,23 @@ type TickerFunc func(cycle int64)
 // Tick implements Ticker.
 func (f TickerFunc) Tick(cycle int64) { f(cycle) }
 
+// Dormant is the NextWork return value for a component with no
+// self-generated future work: only an external stimulus (kernel timer,
+// Wake, or another component's same-cycle action) can make it act.
+const Dormant = int64(math.MaxInt64)
+
+// Sleeper is a Ticker that can report idleness. NextWork returns the
+// earliest cycle at which the component could possibly act: a value
+// <= now means "busy, step me next cycle"; a future cycle promises that
+// every Tick before it would be a pure no-op (no state change, no
+// counter movement); Dormant promises that indefinitely. The promise
+// only covers the component's own state — work injected from outside
+// must arrive via a kernel timer or a Wake call.
+type Sleeper interface {
+	Ticker
+	NextWork(now int64) int64
+}
+
 // timerEvent is a scheduled callback ordered by cycle then sequence.
 type timerEvent struct {
 	cycle int64
@@ -48,7 +60,7 @@ func (h timerHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h timerHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
 func (h *timerHeap) Pop() interface{} {
 	old := *h
@@ -58,19 +70,56 @@ func (h *timerHeap) Pop() interface{} {
 	return ev
 }
 
+// tickerEntry is one registered component plus its sleep bookkeeping.
+type tickerEntry struct {
+	t      Ticker
+	s      Sleeper // nil for opaque (non-Sleeper) tickers
+	wakeAt int64   // earliest explicit Wake hint; Dormant = none
+}
+
 // Kernel is the simulation driver. The zero value is not usable; call New.
 type Kernel struct {
 	cycle   int64
-	tickers []Ticker
+	tickers []tickerEntry
+	index   map[Ticker]int // identity → slot, comparable tickers only
+	opaque  int            // registered tickers without NextWork
 	timers  timerHeap
 	seq     int64
 	stopped bool
+
+	noskip  bool  // shadow mode: historical always-step loop
+	anyWake int64 // wake floor for tickers the index cannot address
+	skipped int64 // total cycles skipped (stats)
+	skips   int64 // skip jumps taken (stats)
 }
 
-// New returns an empty kernel positioned at cycle 0.
+// New returns an empty kernel positioned at cycle 0 with quiescence
+// skipping enabled.
 func New() *Kernel {
-	return &Kernel{}
+	return &Kernel{anyWake: Dormant}
 }
+
+// NewShadow returns a kernel running the historical always-step loop —
+// the reference for differential testing against the skipping kernel.
+func NewShadow() *Kernel {
+	k := New()
+	k.noskip = true
+	return k
+}
+
+// SetSkipping enables or disables quiescence skipping. Results are
+// identical either way; disabling trades wall-clock speed for the
+// simpler always-step loop (used by the differential harness).
+func (k *Kernel) SetSkipping(on bool) { k.noskip = !on }
+
+// Skipping reports whether quiescence skipping is enabled.
+func (k *Kernel) Skipping() bool { return !k.noskip }
+
+// SkippedCycles returns the total cycles fast-forwarded so far.
+func (k *Kernel) SkippedCycles() int64 { return k.skipped }
+
+// Skips returns how many fast-forward jumps have been taken.
+func (k *Kernel) Skips() int64 { return k.skips }
 
 // Now returns the current cycle number.
 func (k *Kernel) Now() int64 { return k.cycle }
@@ -79,9 +128,52 @@ func (k *Kernel) Now() int64 { return k.cycle }
 func (k *Kernel) NowNS() int64 { return k.cycle * CycleNS }
 
 // Register adds a component to the per-cycle tick list. Components tick
-// in registration order every cycle.
+// in registration order every cycle. A component that implements
+// Sleeper participates in quiescence skipping; any other ticker pins
+// the kernel to per-cycle stepping.
 func (k *Kernel) Register(t Ticker) {
-	k.tickers = append(k.tickers, t)
+	e := tickerEntry{t: t, wakeAt: Dormant}
+	if s, ok := t.(Sleeper); ok {
+		e.s = s
+	} else {
+		k.opaque++
+	}
+	k.tickers = append(k.tickers, e)
+	// Identity-addressable tickers get a Wake slot. Func-typed tickers
+	// (TickerFunc) are not comparable and would panic as map keys; Wake
+	// falls back to the global floor for them.
+	if t != nil && reflect.TypeOf(t).Comparable() {
+		if k.index == nil {
+			k.index = make(map[Ticker]int)
+		}
+		k.index[t] = len(k.tickers) - 1
+	}
+}
+
+// Wake hints that the component has work on the next cycle — call it at
+// work-injection points (doorbell posts, packet arrival) whose target
+// may currently be reporting Dormant.
+func (k *Kernel) Wake(t Ticker) { k.WakeAt(t, k.cycle+1) }
+
+// WakeAt hints that the component has work at the given cycle. Hints
+// only bound skipping (earlier of hint and NextWork wins); they never
+// delay a busy component. Unregistered or non-comparable tickers lower
+// a global wake floor instead, which is safe but skips less.
+func (k *Kernel) WakeAt(t Ticker, cycle int64) {
+	if cycle <= k.cycle {
+		cycle = k.cycle + 1
+	}
+	if t != nil && k.index != nil && reflect.TypeOf(t).Comparable() {
+		if idx, ok := k.index[t]; ok {
+			if cycle < k.tickers[idx].wakeAt {
+				k.tickers[idx].wakeAt = cycle
+			}
+			return
+		}
+	}
+	if cycle < k.anyWake {
+		k.anyWake = cycle
+	}
 }
 
 // At schedules fn to run at the start of the given absolute cycle,
@@ -107,33 +199,100 @@ func (k *Kernel) After(delta int64, fn func()) {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step advances the simulation by exactly one cycle: due timers fire
-// first, then every registered component ticks once.
+// first, then every registered component ticks once. Consumed wake
+// hints are cleared.
 func (k *Kernel) Step() {
 	k.cycle++
 	for len(k.timers) > 0 && k.timers[0].cycle <= k.cycle {
 		ev := heap.Pop(&k.timers).(timerEvent)
 		ev.fn()
 	}
-	for _, t := range k.tickers {
-		t.Tick(k.cycle)
+	for i := range k.tickers {
+		e := &k.tickers[i]
+		if e.wakeAt <= k.cycle {
+			e.wakeAt = Dormant
+		}
+		e.t.Tick(k.cycle)
+	}
+	if k.anyWake <= k.cycle {
+		k.anyWake = Dormant
+	}
+}
+
+// nextEventCycle returns the earliest cycle > now at which anything can
+// happen: a ticker's self-reported work, an explicit wake hint, or a
+// kernel timer. Dormant means nothing ever will.
+func (k *Kernel) nextEventCycle() int64 {
+	now := k.cycle
+	next := Dormant
+	if len(k.timers) > 0 && k.timers[0].cycle < next {
+		next = k.timers[0].cycle
+	}
+	if k.anyWake < next {
+		next = k.anyWake
+	}
+	for i := range k.tickers {
+		e := &k.tickers[i]
+		if e.wakeAt < next {
+			next = e.wakeAt
+		}
+		if w := e.s.NextWork(now); w < next {
+			next = w
+		}
+		if next <= now+1 {
+			return now + 1 // someone is busy: no skip possible
+		}
+	}
+	return next
+}
+
+// advanceTo fast-forwards the clock so the next Step lands on the
+// earliest cycle with potential work, never beyond limit. With any
+// opaque ticker registered (or none at all) it is a no-op.
+func (k *Kernel) advanceTo(limit int64) {
+	if k.noskip || k.opaque > 0 || len(k.tickers) == 0 {
+		return
+	}
+	next := k.nextEventCycle()
+	if next > limit {
+		next = limit
+	}
+	if d := next - 1 - k.cycle; d > 0 {
+		k.cycle += d
+		k.skipped += d
+		k.skips++
 	}
 }
 
 // Run advances the simulation by n cycles, or until Stop is called.
+// Provably idle spans are fast-forwarded; the end cycle is exact.
 func (k *Kernel) Run(n int64) {
 	k.stopped = false
-	for i := int64(0); i < n && !k.stopped; i++ {
+	end := k.cycle + n
+	for k.cycle < end && !k.stopped {
+		k.advanceTo(end)
 		k.Step()
 	}
 }
 
 // RunUntil advances the simulation until the predicate returns true or
-// the cycle budget is exhausted. It reports whether the predicate fired.
+// the cycle budget is exhausted, honoring Stop like Run does. It
+// reports whether the predicate fired.
+//
+// With skipping enabled the predicate is evaluated at every cycle where
+// simulation activity can occur (and at the budget boundary). Since no
+// component state changes inside a skipped span, predicates over
+// simulation state observe every transition they could under per-cycle
+// stepping; a predicate that depends only on Now() may observe a later
+// cycle than the first one satisfying it.
 func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
-	for i := int64(0); i < budget; i++ {
+	k.stopped = false
+	end := k.cycle + budget
+	for k.cycle < end && !k.stopped {
 		if pred() {
 			return true
 		}
+		k.advanceTo(end)
 		k.Step()
 	}
 	return pred()
@@ -146,5 +305,5 @@ func NSToCycles(ns int64) int64 {
 
 // String describes the kernel state, mostly for test failure messages.
 func (k *Kernel) String() string {
-	return fmt.Sprintf("sim.Kernel{cycle=%d tickers=%d timers=%d}", k.cycle, len(k.tickers), len(k.timers))
+	return fmt.Sprintf("sim.Kernel{cycle=%d tickers=%d timers=%d skipped=%d}", k.cycle, len(k.tickers), len(k.timers), k.skipped)
 }

@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// benchSleeper mimics a component that is busy in short bursts around
+// periodic timer work and dormant in between.
+type benchSleeper struct {
+	k       *Kernel
+	busyTil int64
+	work    int64
+}
+
+func (s *benchSleeper) Tick(cycle int64) {
+	if cycle < s.busyTil {
+		s.work++
+	}
+}
+
+func (s *benchSleeper) NextWork(now int64) int64 {
+	if s.busyTil > now {
+		return now + 1
+	}
+	return Dormant
+}
+
+// runIdleRig simulates n cycles of a rig that is ~99% idle: every 10k
+// cycles a timer triggers a 100-cycle busy burst.
+func runIdleRig(k *Kernel, n int64) int64 {
+	s := &benchSleeper{k: k}
+	k.Register(s)
+	var arm func()
+	arm = func() {
+		s.busyTil = k.Now() + 100
+		k.After(10_000, arm)
+	}
+	k.After(10_000, arm)
+	k.Run(n)
+	return s.work
+}
+
+func BenchmarkKernelIdleSkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runIdleRig(New(), 1_000_000)
+	}
+}
+
+func BenchmarkKernelIdleNoSkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runIdleRig(NewShadow(), 1_000_000)
+	}
+}
+
+// The busy benchmarks measure the skip machinery's per-cycle overhead
+// when components never sleep (the worst case for the new kernel).
+func runBusyRig(k *Kernel, n int64) int64 {
+	s := &benchSleeper{k: k, busyTil: 1 << 62}
+	k.Register(s)
+	k.Run(n)
+	return s.work
+}
+
+func BenchmarkKernelBusySkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runBusyRig(New(), 100_000)
+	}
+}
+
+func BenchmarkKernelBusyNoSkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runBusyRig(NewShadow(), 100_000)
+	}
+}

@@ -137,6 +137,10 @@ func (l *Lib) PollOne() bool {
 // PendingCompletions exposes the completion backlog.
 func (l *Lib) PendingCompletions() int { return l.ch.PendingCompletions() }
 
+// PendingEvents returns readiness events already drained from the
+// completion queue but not yet taken by the application.
+func (l *Lib) PendingEvents() int { return len(l.events) }
+
 // TakeEvents returns the readiness events accumulated by PollOne calls
 // since the last take, clearing the list. CPU-costed drivers pair PollOne
 // (charged per completion) with TakeEvents (free — the events were

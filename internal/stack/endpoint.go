@@ -413,6 +413,12 @@ func (e *Endpoint) ExpireTimers() {
 // in immediate mode.
 func (e *Endpoint) Tick(int64) { e.ExpireTimers() }
 
+// NextTimerNS returns the earliest pending timer deadline in
+// nanoseconds, or 0 when none. The value may be stale (lazy-deletion
+// heap); stale heads are popped by the next ExpireTimers call, so a
+// past deadline costs at most one extra tick.
+func (e *Endpoint) NextTimerNS() int64 { return e.timers.NextDeadline() }
+
 // Ping sends an ICMP echo request (diagnostics parity with FtEngine).
 func (e *Endpoint) Ping(ip wire.Addr, id, seq uint16, payload []byte) bool {
 	mac, req, ok := e.arp.Resolve(ip)
