@@ -7,6 +7,8 @@
 //	f4tperf -stack linux -pattern rr -size 64 -cores 8
 //	f4tperf -stack f4t -pattern echo -flows 4096
 //	f4tperf -bench                  # kernel perf harness -> BENCH_kernel.json
+//	f4tperf -bench -guard           # also fail if the skip fast path regressed
+//	f4tperf -trace out.json         # Perfetto trace of the standard echo rig
 package main
 
 import (
@@ -27,10 +29,17 @@ func main() {
 	bench := flag.Bool("bench", false, "run the kernel perf-regression harness (skip vs always-step)")
 	benchOut := flag.String("benchout", "BENCH_kernel.json", "output path for -bench results")
 	quick := flag.Bool("quick", false, "shorter -bench measurement windows (CI smoke)")
+	guard := flag.Bool("guard", false, "with -bench: exit non-zero if the skip fast path regressed")
+	trace := flag.String("trace", "", "run the standard echo rig with telemetry and write a Perfetto trace to this path")
+	traceCycles := flag.Int64("tracecycles", 400_000, "simulated cycles to trace after connection setup")
 	flag.Parse()
 
+	if *trace != "" {
+		runTrace(*trace, *traceCycles)
+		return
+	}
 	if *bench {
-		runKernelBench(*quick, *benchOut)
+		runKernelBench(*quick, *guard, *benchOut)
 		return
 	}
 
@@ -53,14 +62,44 @@ func main() {
 	}
 }
 
+// runTrace produces a Perfetto-loadable trace of the standard echo rig.
+func runTrace(out string, cycles int64) {
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4tperf: %v\n", err)
+		os.Exit(1)
+	}
+	r, err := exp.RunTracedEcho(f, cycles)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4tperf: trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d trace events (%d dropped), %d metrics, %d samples, %d round trips\n",
+		out, r.Tel.Trace.Total(), r.Tel.Trace.Dropped(), r.Tel.Reg.Len(),
+		r.Tel.Sampler.Points(), r.Requests)
+	fmt.Println("open in https://ui.perfetto.dev or chrome://tracing")
+}
+
 // runKernelBench times the standard rigs with and without quiescence
-// skipping and writes the machine-readable comparison.
-func runKernelBench(quick bool, out string) {
+// skipping and writes the machine-readable comparison. With guard, the
+// process fails if the skip fast path stopped engaging — a
+// machine-independent floor (PR 1 recorded ~9.5x on the echo rig, so 2x
+// leaves generous noise headroom) — or if enabled telemetry more than
+// doubles the echo run.
+func runKernelBench(quick, guard bool, out string) {
 	res := exp.RunKernelBench(quick)
 	for _, e := range res.Entries {
 		fmt.Printf("%-22s %6.2f sim ms  skip %5.1f%%  %8.2f ms wall (was %8.2f ms)  %5.2fx\n",
 			e.Name, e.SimMS, e.SkippedPct,
 			float64(e.WallNSSkip)/1e6, float64(e.WallNSNoSkip)/1e6, e.Speedup)
+	}
+	if t := res.Telemetry; t != nil {
+		fmt.Printf("%-22s telemetry on: %8.2f ms wall (off %8.2f ms)  %+.1f%%  %d metrics, %d events\n",
+			t.Workload, float64(t.WallNSOn)/1e6, float64(t.WallNSOff)/1e6,
+			t.OverheadPct, t.Metrics, t.TraceEvents)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -73,4 +112,28 @@ func runKernelBench(quick bool, out string) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", out)
+
+	if guard {
+		failed := false
+		for _, e := range res.Entries {
+			if e.Name == "echo-idle-fig13" {
+				if e.Speedup < 2.0 {
+					fmt.Fprintf(os.Stderr, "guard: %s speedup %.2fx < 2.0x — skip fast path regressed\n", e.Name, e.Speedup)
+					failed = true
+				}
+				if e.SkippedPct < 50 {
+					fmt.Fprintf(os.Stderr, "guard: %s skipped %.1f%% < 50%% — quiescence detection regressed\n", e.Name, e.SkippedPct)
+					failed = true
+				}
+			}
+		}
+		if t := res.Telemetry; t != nil && t.OverheadPct > 100 {
+			fmt.Fprintf(os.Stderr, "guard: telemetry overhead %.1f%% > 100%%\n", t.OverheadPct)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("guard: ok")
+	}
 }

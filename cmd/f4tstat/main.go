@@ -1,0 +1,166 @@
+// f4tstat runs an instrumented standard rig and dumps the telemetry
+// registry: a point-in-time snapshot of every metric, the sampled time
+// series, or the per-flow statistics table, as CSV or JSON.
+//
+// Usage:
+//
+//	f4tstat                          # echo rig snapshot, CSV on stdout
+//	f4tstat -rig bulk -format json
+//	f4tstat -mode series -sample 10000
+//	f4tstat -mode flows -format json
+//	f4tstat -o stats.csv
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"f4t/internal/exp"
+)
+
+func main() {
+	rig := flag.String("rig", "echo", "workload rig: echo or bulk")
+	mode := flag.String("mode", "snapshot", "what to dump: snapshot, series, flows")
+	format := flag.String("format", "csv", "output format: csv or json")
+	cycles := flag.Int64("cycles", 400_000, "simulated cycles to run after connection setup")
+	sample := flag.Int64("sample", 0, "sampling period in cycles (0 = default 25000)")
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	r, err := exp.RunStatRig(*rig, *cycles, *sample)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4tstat: %v\n", err)
+		os.Exit(1)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "f4tstat: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *mode {
+	case "snapshot":
+		err = dumpSnapshot(w, r, *format)
+	case "series":
+		err = dumpSeries(w, r, *format)
+	case "flows":
+		err = dumpFlows(w, r, *format)
+	default:
+		err = fmt.Errorf("unknown mode %q (snapshot, series, flows)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4tstat: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// dumpSnapshot emits one row per registered metric.
+func dumpSnapshot(w io.Writer, r *exp.StatRig, format string) error {
+	snap := r.Tel.Reg.Snapshot()
+	if format == "json" {
+		return writeJSON(w, snap)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "value", "p50", "p99", "max", "mean"}); err != nil {
+		return err
+	}
+	for _, s := range snap {
+		rec := []string{
+			s.Name, s.Kind, strconv.FormatInt(s.Value, 10),
+			strconv.FormatInt(s.P50, 10), strconv.FormatInt(s.P99, 10),
+			strconv.FormatInt(s.Max, 10), strconv.FormatFloat(s.Mean, 'f', 3, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// dumpSeries emits the sampled time series in long form: one row per
+// (metric, sample point).
+func dumpSeries(w io.Writer, r *exp.StatRig, format string) error {
+	series := r.Tel.Sampler.Series()
+	if format == "json" {
+		return writeJSON(w, series)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "kind", "t_ns", "value"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.AtNS {
+			rec := []string{
+				s.Name, s.Kind,
+				strconv.FormatInt(s.AtNS[i], 10), strconv.FormatInt(s.Val[i], 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// dumpFlows emits both engines' per-flow statistics.
+func dumpFlows(w io.Writer, r *exp.StatRig, format string) error {
+	type engFlows struct {
+		Engine string      `json:"engine"`
+		Flows  interface{} `json:"flows"`
+	}
+	if format == "json" {
+		return writeJSON(w, []engFlows{
+			{Engine: "eng_a", Flows: r.Tel.FlowsA.Flows()},
+			{Engine: "eng_b", Flows: r.Tel.FlowsB.Flows()},
+		})
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"engine", "flow_id", "state", "cwnd", "ssthresh", "srtt_ns", "rto_ns",
+		"bytes_acked", "bytes_rcvd", "retransmits", "rtt_samples", "goodput_bps"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, side := range []struct {
+		name string
+	}{{"eng_a"}, {"eng_b"}} {
+		flows := r.Tel.FlowsA.Flows()
+		if side.name == "eng_b" {
+			flows = r.Tel.FlowsB.Flows()
+		}
+		for _, f := range flows {
+			rec := []string{
+				side.name,
+				strconv.FormatUint(uint64(f.FlowID), 10), f.State,
+				strconv.FormatUint(uint64(f.CwndB), 10), strconv.FormatUint(uint64(f.Ssthresh), 10),
+				strconv.FormatInt(f.SRTTNS, 10), strconv.FormatInt(f.RTONS, 10),
+				strconv.FormatInt(f.BytesAcked, 10), strconv.FormatInt(f.BytesRcvd, 10),
+				strconv.FormatInt(f.Retransmits, 10), strconv.FormatInt(f.RTTSamples, 10),
+				strconv.FormatFloat(f.GoodputBps(), 'f', 0, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -3,6 +3,7 @@ package apps
 import (
 	"f4t/internal/host"
 	"f4t/internal/sim"
+	"f4t/internal/telemetry"
 )
 
 // EchoServer bounces every received message back (the "echoing
@@ -69,6 +70,11 @@ type EchoClient struct {
 	Requests sim.Counter
 	// Latency records round-trip times in nanoseconds.
 	Latency sim.Histogram
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	rttHist *telemetry.Histogram
+	trc     *telemetry.Trace
+	tid     int32
 
 	k *sim.Kernel
 }
@@ -142,6 +148,10 @@ func (c *EchoClient) Tick(int64) {
 				f.awaiting = false
 				c.Requests.Inc()
 				c.Latency.Observe(now - f.sentAt)
+				if c.rttHist != nil || c.trc != nil {
+					c.rttHist.Observe(now - f.sentAt)
+					c.trc.Span("app", "rtt", c.tid, f.sentAt, now, int64(c.msgSize))
+				}
 				// Fall through to send the next request immediately.
 			}
 			if f.conn.TrySend(c.msgSize, nil) == 0 {

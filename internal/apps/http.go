@@ -4,6 +4,7 @@ import (
 	"f4t/internal/cpu"
 	"f4t/internal/host"
 	"f4t/internal/sim"
+	"f4t/internal/telemetry"
 )
 
 // HTTPServer is the Nginx stand-in of §5.2: per request it parses the
@@ -148,6 +149,9 @@ type Wrk struct {
 	Responses sim.Counter
 	// Latency records request→response times (Fig 12).
 	Latency sim.Histogram
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	latHist *telemetry.Histogram
 }
 
 type wrkFlow struct {
@@ -188,6 +192,7 @@ func (w *Wrk) Tick(int64) {
 						f.got = 0
 						w.Responses.Inc()
 						w.Latency.Observe(now - f.sentAt)
+						w.latHist.Observe(now - f.sentAt)
 					}
 				}
 				continue

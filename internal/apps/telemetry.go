@@ -1,0 +1,48 @@
+package apps
+
+import "f4t/internal/telemetry"
+
+// Instrument registers the sender's request/byte counters under prefix.
+// Safe on a nil registry.
+func (b *BulkSender) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".requests", &b.Requests)
+	reg.Counter(prefix+".bytes", &b.Bytes)
+}
+
+// Instrument registers the sender's request/byte counters under prefix.
+func (r *RoundRobinSender) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".requests", &r.Requests)
+	reg.Counter(prefix+".bytes", &r.Bytes)
+}
+
+// Instrument registers delivered payload bytes under prefix.
+func (s *Sink) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".delivered", &s.Delivered)
+}
+
+// Instrument registers responses sent under prefix.
+func (s *HTTPServer) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".requests", &s.Requests)
+}
+
+// Instrument registers completed round trips under prefix, plus a
+// log-bucketed RTT histogram fed alongside the exact sim.Histogram.
+func (c *EchoClient) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".requests", &c.Requests)
+	c.rttHist = reg.NewHistogram(prefix + ".rtt_ns")
+}
+
+// SetTracer attaches a trace ring; every completed round trip emits an
+// "rtt" span on virtual thread tid covering request send → echo receipt,
+// with the message size as argument.
+func (c *EchoClient) SetTracer(trc *telemetry.Trace, tid int32) {
+	c.trc = trc
+	c.tid = tid
+}
+
+// Instrument registers completed request/response pairs under prefix,
+// plus a log-bucketed latency histogram.
+func (w *Wrk) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".responses", &w.Responses)
+	w.latHist = reg.NewHistogram(prefix + ".latency_ns")
+}

@@ -23,6 +23,7 @@ import (
 	"f4t/internal/seqnum"
 	"f4t/internal/sim"
 	"f4t/internal/tcpproc"
+	"f4t/internal/telemetry"
 	"f4t/internal/timerq"
 	"f4t/internal/wire"
 )
@@ -130,12 +131,18 @@ type Engine struct {
 	arpWait map[wire.Addr][]*wire.Packet
 
 	// Stats.
-	RxPkts, TxPkts   sim.Counter
-	RxDropped        sim.Counter
-	RxNoFlow         sim.Counter
-	CmdsProcessed    sim.Counter
-	CompletionsSent  sim.Counter
-	FlowsAccepted    sim.Counter
+	RxPkts, TxPkts  sim.Counter
+	RxDropped       sim.Counter
+	RxNoFlow        sim.Counter
+	CmdsProcessed   sim.Counter
+	CompletionsSent sim.Counter
+	FlowsAccepted   sim.Counter
+	RetransSegs     sim.Counter // segments re-sent (loss recovery + RTO)
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	trc *telemetry.Trace
+	tid int32
+	ft  *telemetry.FlowTable
 }
 
 // New builds an engine; tx attaches the network link.
@@ -653,6 +660,13 @@ func (e *Engine) applyActions(t *flow.TCB, a *tcpproc.Actions) {
 // emitSegment resolves the peer MAC, fetches payload over PCIe and
 // transmits the generated packets (§4.1.2 ①②).
 func (e *Engine) emitSegment(fm *flowMeta, op *tcpproc.SendOp) {
+	if op.Retransmit {
+		e.RetransSegs.Inc()
+		if e.ft != nil || e.trc != nil {
+			e.ft.OnRetransmit(uint32(fm.tcb.FlowID))
+			e.trc.Instant("engine", "tcp.retransmit", e.tid, e.K.NowNS(), int64(fm.tcb.FlowID))
+		}
+	}
 	mac, req, ok := e.arp.Resolve(fm.meta.Tuple.RemoteAddr)
 	var fetch datapath.PayloadFetch
 	if fm.txRing != nil && !e.cfg.HeaderOnly {

@@ -18,6 +18,7 @@ import (
 	"f4t/internal/flow"
 	"f4t/internal/sim"
 	"f4t/internal/tcpproc"
+	"f4t/internal/telemetry"
 )
 
 // Mode selects the processing architecture.
@@ -117,6 +118,10 @@ type FPC struct {
 	EventsHandled sim.Counter
 	Processed     sim.Counter // FPU passes completed
 	Stalls        sim.Counter // cycles the stall-mode unit was busy
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	trc *telemetry.Trace
+	tid int32
 }
 
 // inputDepth is the routed-event queue depth; the scheduler watches this
@@ -419,6 +424,9 @@ func (f *FPC) complete(cycle int64) {
 		f.actions.Reset()
 		tcpproc.Process(t, f.cfg.Alg, f.cfg.Proto, f.k.NowNS(), &f.actions)
 		f.Processed.Inc()
+		if f.trc != nil {
+			f.tracePass(head.doneAt, int64(t.FlowID))
+		}
 		s.inFPU = false
 		if f.hooks.OnActions != nil {
 			f.hooks.OnActions(t, &f.actions)

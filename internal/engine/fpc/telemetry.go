@@ -1,0 +1,34 @@
+package fpc
+
+import (
+	"f4t/internal/sim"
+	"f4t/internal/telemetry"
+)
+
+// Instrument registers the FPC's counters and occupancy gauges under
+// prefix (e.g. "eng_a.fpc0"). The registry holds references to the same
+// sim.Counter fields the FPC already updates, so registered values are
+// identical to the ad-hoc fields by construction. Safe on a nil registry.
+func (f *FPC) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".events_handled", &f.EventsHandled)
+	reg.Counter(prefix+".processed", &f.Processed)
+	reg.Counter(prefix+".stalls", &f.Stalls)
+	reg.Gauge(prefix+".flows", func() int64 { return int64(f.FlowCount()) })
+	reg.Gauge(prefix+".input_backlog", func() int64 { return int64(f.InputBacklog()) })
+	reg.Gauge(prefix+".pipe_depth", func() int64 { return int64(f.pipe.Len()) })
+}
+
+// SetTracer attaches a trace ring; every retired FPU pass emits a span on
+// virtual thread tid covering issue → retirement (the pipeline latency),
+// with the flow ID as argument. Pass nil to disable (the default).
+func (f *FPC) SetTracer(trc *telemetry.Trace, tid int32) {
+	f.trc = trc
+	f.tid = tid
+}
+
+// tracePass records one FPU pass span. Called only when a tracer is
+// attached (the hot path guards on f.trc != nil).
+func (f *FPC) tracePass(doneAt int64, flowID int64) {
+	start := (doneAt - int64(f.cfg.FPULatency)) * sim.CycleNS
+	f.trc.Span("engine", "fpu.pass", f.tid, start, doneAt*sim.CycleNS, flowID)
+}

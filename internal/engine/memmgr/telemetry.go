@@ -1,0 +1,15 @@
+package memmgr
+
+import "f4t/internal/telemetry"
+
+// Instrument registers the memory manager's counters and occupancy
+// gauges under prefix (e.g. "eng_a.mem"). Entries reference the existing
+// stat fields directly. Safe on a nil registry.
+func (m *Manager) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".handled", &m.Handled)
+	reg.Counter(prefix+".cache_hits", &m.CacheHits)
+	reg.Counter(prefix+".cache_miss", &m.CacheMiss)
+	reg.Counter(prefix+".swap_reqs", &m.SwapReqs)
+	reg.Gauge(prefix+".dram_flows", func() int64 { return int64(m.FlowCount()) })
+	reg.Gauge(prefix+".backlog", func() int64 { return int64(m.Backlog()) })
+}

@@ -51,9 +51,19 @@ func F4TCwndTrace(alg string, dropEvery int64, durationCycles, sampleCycles int6
 	p := NewF4TPair(1, 1, costs, func(c *engine.Config) {
 		c.Alg = alg
 		c.CarryBytes = false
+		if alg == "dctcp" {
+			c.Proto.ECN = true
+		}
 	})
 	k := p.K
-	p.Link.AtoB.SetFaults(netsim.Faults{DropEvery: dropEvery})
+	faults := netsim.Faults{DropEvery: dropEvery}
+	if alg == "dctcp" {
+		// DCTCP modulates on congestion marks, not loss: give the trace
+		// an ECN-marking bottleneck so its signal actually exercises the
+		// algorithm rather than just its loss fallback.
+		faults.MarkThresholdNS = 1_000
+	}
+	p.Link.AtoB.SetFaults(faults)
 
 	sink := apps.NewSink(p.MachB.Threads(), 5001)
 	k.Register(sink)

@@ -41,9 +41,25 @@ type KernelBenchEntry struct {
 
 // KernelBench is the harness result, serialized to BENCH_kernel.json.
 type KernelBench struct {
-	Schema  string             `json:"schema"`
-	Quick   bool               `json:"quick"`
-	Entries []KernelBenchEntry `json:"entries"`
+	Schema    string             `json:"schema"`
+	Quick     bool               `json:"quick"`
+	Entries   []KernelBenchEntry `json:"entries"`
+	Telemetry *TelemetryOverhead `json:"telemetry,omitempty"`
+}
+
+// TelemetryOverhead compares the echo workload with telemetry fully
+// enabled (registry + sampler + tracer + flow tables) against the same
+// run with telemetry disabled (the nil fast path), both on the skipping
+// kernel. OverheadPct is the enabled run's extra wall time; the disabled
+// path itself is identical code to the pre-telemetry engine except for
+// nil checks, so the skip-vs-noskip entries above already guard it.
+type TelemetryOverhead struct {
+	Workload    string  `json:"workload"`
+	WallNSOff   int64   `json:"wall_ns_off"`
+	WallNSOn    int64   `json:"wall_ns_on"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Metrics     int     `json:"metrics"`
+	TraceEvents int64   `json:"trace_events"`
 }
 
 type benchSample struct {
@@ -115,6 +131,28 @@ func benchBulk(skip bool, measure int64) benchSample {
 	return timedRun(k, measure)
 }
 
+// benchEchoTelemetry is benchEcho with full telemetry attached: every
+// layer instrumented, the sampler ticking, the tracer recording spans
+// and both flow tables refreshing. Its wall time against benchEcho's
+// skip run measures the enabled-telemetry cost.
+func benchEchoTelemetry(measure int64) (benchSample, int, int64) {
+	p := NewF4TPair(2, 2, cpu.DefaultCosts(), func(c *engine.Config) {
+		c.CarryBytes = false
+	})
+	k := p.K
+	tel := InstrumentF4TPair(p, 0, 0)
+	srv := apps.NewEchoServer(p.MachB.Threads(), 7001, 128)
+	k.Register(srv)
+	k.Run(2_000)
+	cli := apps.NewEchoClient(k, p.MachA.Threads(), 0, 7001, 128, 1)
+	cli.Instrument(tel.Reg, "app.echo")
+	cli.SetTracer(tel.Trace, tel.NextTID("app.echo"))
+	k.Register(cli)
+	k.RunUntil(cli.Ready, 2_000_000)
+	s := timedRun(k, measure)
+	return s, tel.Reg.Len(), tel.Trace.Total()
+}
+
 // RunKernelBench runs every workload in both kernel modes and returns
 // the comparison. quick shortens the windows for CI smoke runs.
 func RunKernelBench(quick bool) *KernelBench {
@@ -130,7 +168,7 @@ func RunKernelBench(quick bool) *KernelBench {
 		{"wrk-latency-fig12", benchWrkLatency},
 		{"bulk-saturated-fig8a", benchBulk},
 	}
-	out := &KernelBench{Schema: "f4t-kernel-bench/1", Quick: quick}
+	out := &KernelBench{Schema: "f4t-kernel-bench/2", Quick: quick}
 	for _, w := range workloads {
 		s := w.run(true, measure)
 		n := w.run(false, measure)
@@ -159,5 +197,19 @@ func RunKernelBench(quick bool) *KernelBench {
 		}
 		out.Entries = append(out.Entries, e)
 	}
+
+	off := benchEcho(true, measure)
+	on, metrics, events := benchEchoTelemetry(measure)
+	tl := &TelemetryOverhead{
+		Workload:    "echo-idle-fig13",
+		WallNSOff:   off.wallNS,
+		WallNSOn:    on.wallNS,
+		Metrics:     metrics,
+		TraceEvents: events,
+	}
+	if off.wallNS > 0 {
+		tl.OverheadPct = 100 * (float64(on.wallNS) - float64(off.wallNS)) / float64(off.wallNS)
+	}
+	out.Telemetry = tl
 	return out
 }

@@ -1,0 +1,154 @@
+package hostif
+
+import (
+	"testing"
+
+	"f4t/internal/sim"
+)
+
+// The PCIe byte accounting underpins the §5.1/§6 bandwidth arguments, so
+// it must match hand-computed totals exactly: every discrete transfer is
+// one TLP, and wire bytes are payload plus the fixed per-TLP overhead.
+
+func TestPCIeTransferAccounting(t *testing.T) {
+	k := sim.New()
+	p := NewPCIe(k, DefaultPCIe()) // 24 B TLP overhead
+
+	p.TransferToDevice(100)
+	if p.BytesToDevice != 100 || p.TLPsToDevice != 1 || p.WireBytesToDevice != 124 {
+		t.Fatalf("to-device after one 100 B transfer: bytes=%d tlps=%d wire=%d, want 100/1/124",
+			p.BytesToDevice, p.TLPsToDevice, p.WireBytesToDevice)
+	}
+
+	p.TransferToDevice(0) // a zero-byte transaction still costs a TLP header
+	if p.BytesToDevice != 100 || p.TLPsToDevice != 2 || p.WireBytesToDevice != 148 {
+		t.Fatalf("to-device after empty transfer: bytes=%d tlps=%d wire=%d, want 100/2/148",
+			p.BytesToDevice, p.TLPsToDevice, p.WireBytesToDevice)
+	}
+
+	p.TransferToHost(64)
+	p.TransferToHost(64)
+	if p.BytesToHost != 128 || p.TLPsToHost != 2 || p.WireBytesToHost != 2*(64+24) {
+		t.Fatalf("to-host after two 64 B transfers: bytes=%d tlps=%d wire=%d, want 128/2/176",
+			p.BytesToHost, p.TLPsToHost, p.WireBytesToHost)
+	}
+
+	// Directions are independent resources.
+	if p.TLPsToDevice != 2 || p.TLPsToHost != 2 {
+		t.Fatalf("directions bled into each other: toDev=%d toHost=%d", p.TLPsToDevice, p.TLPsToHost)
+	}
+}
+
+func TestPCIeOverheadConfigurable(t *testing.T) {
+	k := sim.New()
+	p := NewPCIe(k, PCIeConfig{GBps: 14, LatencyNS: 450, TLPOverhead: 0})
+	p.TransferToDevice(100)
+	if p.WireBytesToDevice != 100 {
+		t.Fatalf("zero-overhead wire bytes = %d, want 100", p.WireBytesToDevice)
+	}
+}
+
+// drainChannel steps the kernel and fetch engine until the device queue
+// stops growing, returning after the pipeline is fully drained.
+func drainChannel(k *sim.Kernel, ch *Channel, cycles int) {
+	for i := 0; i < cycles; i++ {
+		k.Step()
+		ch.TickDevice()
+	}
+}
+
+// TestChannelFetchBatchWireBytes pins the doorbell-batching economics of
+// §4.6: 20 posted commands are fetched as one full 16-command batch plus
+// one 4-command remainder, and the wire cost of each batch is
+// batch*CommandBytes16 + one TLP overhead — NOT 20 separate TLPs.
+func TestChannelFetchBatchWireBytes(t *testing.T) {
+	k := sim.New()
+	p := NewPCIe(k, DefaultPCIe())
+	ch := NewChannel(k, p, CommandBytes16)
+
+	for i := 0; i < 20; i++ {
+		if !ch.Post(Command{Op: OpSend, Flow: 1, Ptr: 64}) {
+			t.Fatal("post failed")
+		}
+	}
+	ch.TickDevice() // both batches issue immediately (pipeline depth 4)
+	drainChannel(k, ch, 400)
+
+	if ch.Fetched != 20 {
+		t.Fatalf("fetched = %d, want 20", ch.Fetched)
+	}
+	// Batch 1: 16 cmds -> 16*16 + 24 = 280 wire bytes.
+	// Batch 2:  4 cmds ->  4*16 + 24 =  88 wire bytes.
+	if p.TLPsToDevice != 2 {
+		t.Fatalf("TLPs = %d, want 2 (16+4 batching)", p.TLPsToDevice)
+	}
+	if p.BytesToDevice != 20*CommandBytes16 {
+		t.Fatalf("payload bytes = %d, want %d", p.BytesToDevice, 20*CommandBytes16)
+	}
+	if want := int64(16*CommandBytes16 + 24 + 4*CommandBytes16 + 24); p.WireBytesToDevice != want {
+		t.Fatalf("wire bytes = %d, want %d", p.WireBytesToDevice, want)
+	}
+
+	// The naive one-TLP-per-command encoding would have cost
+	// 20*(16+24) = 800 wire bytes; batching must beat it.
+	if p.WireBytesToDevice >= 20*(CommandBytes16+24) {
+		t.Fatalf("batching saved nothing: %d wire bytes", p.WireBytesToDevice)
+	}
+}
+
+// TestChannelCompletionWireBytes does the same arithmetic for the
+// device→host direction: one PushCompletions call is one TLP regardless
+// of batch size.
+func TestChannelCompletionWireBytes(t *testing.T) {
+	k := sim.New()
+	p := NewPCIe(k, DefaultPCIe())
+	ch := NewChannel(k, p, CommandBytes16)
+
+	comps := make([]Completion, 7)
+	ch.PushCompletions(comps)
+	ch.PushCompletions(comps[:1])
+	drainChannel(k, ch, 400)
+
+	if ch.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", ch.Completed)
+	}
+	if p.TLPsToHost != 2 {
+		t.Fatalf("TLPs to host = %d, want 2", p.TLPsToHost)
+	}
+	if p.BytesToHost != 8*CompletionBytes {
+		t.Fatalf("payload bytes = %d, want %d", p.BytesToHost, 8*CompletionBytes)
+	}
+	if want := int64(7*CompletionBytes + 24 + 1*CompletionBytes + 24); p.WireBytesToHost != want {
+		t.Fatalf("wire bytes = %d, want %d", p.WireBytesToHost, want)
+	}
+
+	// Empty pushes must not burn a TLP.
+	ch.PushCompletions(nil)
+	if p.TLPsToHost != 2 {
+		t.Fatalf("empty PushCompletions issued a TLP")
+	}
+}
+
+// TestChannelSmallCommandEncoding verifies the §6 optimization halves the
+// command payload on the wire: same batch, smaller TLPs.
+func TestChannelSmallCommandEncoding(t *testing.T) {
+	wire := func(cmdBytes int64) int64 {
+		k := sim.New()
+		p := NewPCIe(k, DefaultPCIe())
+		ch := NewChannel(k, p, cmdBytes)
+		for i := 0; i < 16; i++ {
+			ch.Post(Command{Op: OpSend, Flow: 1, Ptr: 64})
+		}
+		ch.TickDevice()
+		drainChannel(k, ch, 400)
+		return p.WireBytesToDevice
+	}
+	w16, w8 := wire(CommandBytes16), wire(CommandBytes8)
+	if w16 != 16*CommandBytes16+24 || w8 != 16*CommandBytes8+24 {
+		t.Fatalf("wire bytes: 16B encoding %d (want %d), 8B encoding %d (want %d)",
+			w16, 16*CommandBytes16+24, w8, 16*CommandBytes8+24)
+	}
+	if w8 >= w16 {
+		t.Fatalf("8 B encoding (%d wire bytes) did not beat 16 B (%d)", w8, w16)
+	}
+}

@@ -1,6 +1,9 @@
 package hostif
 
-import "f4t/internal/sim"
+import (
+	"f4t/internal/sim"
+	"f4t/internal/telemetry"
+)
 
 // fetchBatch is how many commands FtEngine reads from a queue per DMA
 // fetch ("FtEngine reads multiple commands from each command queue at
@@ -28,6 +31,10 @@ type Channel struct {
 	Posted    int64
 	Fetched   int64
 	Completed int64
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	trc *telemetry.Trace
+	tid int32
 }
 
 // NewChannel builds a queue pair. cmdBytes is 16 (default) or 8 (the §6
@@ -101,6 +108,9 @@ func (c *Channel) TickDevice() {
 		}
 		c.fetching++
 		done := c.pcie.TransferToDevice(int64(n) * c.cmdBytes)
+		if c.trc != nil {
+			c.traceDMA("cmd.fetch", c.k.Now(), done, n)
+		}
 		c.k.At(done, func() {
 			for _, cmd := range batch {
 				c.device.Push(cmd)
@@ -132,6 +142,9 @@ func (c *Channel) PushCompletions(comps []Completion) {
 	batch := make([]Completion, len(comps))
 	copy(batch, comps)
 	done := c.pcie.TransferToHost(int64(len(batch)) * CompletionBytes)
+	if c.trc != nil {
+		c.traceDMA("comp.dma", c.k.Now(), done, len(batch))
+	}
 	c.k.At(done, func() {
 		for _, cp := range batch {
 			c.comps.Push(cp)

@@ -17,6 +17,15 @@ type PCIe struct {
 
 	BytesToDevice int64
 	BytesToHost   int64
+
+	// TLP accounting: discrete transfers per direction and the wire bytes
+	// they occupied including the per-TLP overhead. Together with the
+	// payload byte counts these expose how much of the link each
+	// direction's framing overhead eats (the §4.6 batching argument).
+	TLPsToDevice      int64
+	TLPsToHost        int64
+	WireBytesToDevice int64
+	WireBytesToHost   int64
 }
 
 // PCIeConfig parameterizes the link.
@@ -47,6 +56,8 @@ func NewPCIe(k *sim.Kernel, cfg PCIeConfig) *PCIe {
 // the completion cycle.
 func (p *PCIe) TransferToDevice(n int64) int64 {
 	p.BytesToDevice += n
+	p.TLPsToDevice++
+	p.WireBytesToDevice += n + p.tlpOverhead
 	return p.toDevice.Reserve(p.k.Now(), n+p.tlpOverhead) + p.latency
 }
 
@@ -54,6 +65,8 @@ func (p *PCIe) TransferToDevice(n int64) int64 {
 // the completion cycle.
 func (p *PCIe) TransferToHost(n int64) int64 {
 	p.BytesToHost += n
+	p.TLPsToHost++
+	p.WireBytesToHost += n + p.tlpOverhead
 	return p.toHost.Reserve(p.k.Now(), n+p.tlpOverhead) + p.latency
 }
 

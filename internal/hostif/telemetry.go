@@ -1,0 +1,43 @@
+package hostif
+
+import (
+	"f4t/internal/sim"
+	"f4t/internal/telemetry"
+)
+
+// Instrument registers the PCIe link's byte/TLP accounting and live
+// backlog under prefix (e.g. "eng_a.pcie"). Safe on a nil registry.
+func (p *PCIe) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".bytes_to_device", func() int64 { return p.BytesToDevice })
+	reg.Gauge(prefix+".bytes_to_host", func() int64 { return p.BytesToHost })
+	reg.Gauge(prefix+".tlps_to_device", func() int64 { return p.TLPsToDevice })
+	reg.Gauge(prefix+".tlps_to_host", func() int64 { return p.TLPsToHost })
+	reg.Gauge(prefix+".wire_bytes_to_device", func() int64 { return p.WireBytesToDevice })
+	reg.Gauge(prefix+".wire_bytes_to_host", func() int64 { return p.WireBytesToHost })
+	reg.Gauge(prefix+".backlog_to_device", func() int64 { return p.BacklogToDevice() })
+	reg.Gauge(prefix+".backlog_to_host", func() int64 { return p.BacklogToHost() })
+}
+
+// Instrument registers the channel's command/completion counts and queue
+// depths under prefix (e.g. "eng_a.ch0"). Safe on a nil registry.
+func (c *Channel) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".posted", func() int64 { return c.Posted })
+	reg.Gauge(prefix+".fetched", func() int64 { return c.Fetched })
+	reg.Gauge(prefix+".completed", func() int64 { return c.Completed })
+	reg.Gauge(prefix+".host_backlog", func() int64 { return int64(c.HostBacklog()) })
+	reg.Gauge(prefix+".device_backlog", func() int64 { return int64(c.DeviceBacklog()) })
+}
+
+// SetTracer attaches a trace ring; command-fetch and completion DMA
+// transfers emit spans on virtual thread tid covering request → DMA
+// completion (so the span length is queueing + serialization + PCIe
+// latency), with the batch size as argument.
+func (c *Channel) SetTracer(trc *telemetry.Trace, tid int32) {
+	c.trc = trc
+	c.tid = tid
+}
+
+// traceDMA records one DMA span. Called only with a tracer attached.
+func (c *Channel) traceDMA(name string, startCycle, doneCycle int64, batch int) {
+	c.trc.Span("hostif", name, c.tid, startCycle*sim.CycleNS, doneCycle*sim.CycleNS, int64(batch))
+}

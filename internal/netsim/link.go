@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"f4t/internal/sim"
+	"f4t/internal/telemetry"
 	"f4t/internal/wire"
 )
 
@@ -49,6 +50,10 @@ type Pipe struct {
 	DupPkts     int64
 	ReorderPkts int64
 	MarkedPkts  int64 // CE marks applied (ECN)
+
+	// Telemetry (nil when disabled; see telemetry.go).
+	trc *telemetry.Trace
+	tid int32
 }
 
 // NewPipe builds a unidirectional pipe of the given bandwidth and
@@ -88,15 +93,24 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		f.DropOnce--
 		if f.DropOnce == 0 {
 			p.DroppedPkts++
+			if p.trc != nil {
+				p.traceFault("pkt.drop")
+			}
 			return
 		}
 	}
 	if f.DropEvery > 0 && p.SentPkts%f.DropEvery == 0 {
 		p.DroppedPkts++
+		if p.trc != nil {
+			p.traceFault("pkt.drop")
+		}
 		return
 	}
 	if f.LossProb > 0 && p.rng.Bool(f.LossProb) {
 		p.DroppedPkts++
+		if p.trc != nil {
+			p.traceFault("pkt.drop")
+		}
 		return
 	}
 
@@ -109,18 +123,30 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		marked.IP.ECN = wire.ECNCE
 		pkt = &marked
 		p.MarkedPkts++
+		if p.trc != nil {
+			p.traceFault("pkt.mark")
+		}
 	}
 
 	at := done + p.prop
 	if f.ReorderProb > 0 && p.rng.Bool(f.ReorderProb) {
 		at += sim.NSToCycles(f.ReorderNS)
 		p.ReorderPkts++
+		if p.trc != nil {
+			p.traceFault("pkt.reorder")
+		}
+	}
+	if p.trc != nil {
+		p.traceSend(p.k.Now(), at, wireLen)
 	}
 	target := pkt
 	p.k.At(at, func() { p.deliver(target) })
 
 	if f.DupProb > 0 && p.rng.Bool(f.DupProb) {
 		p.DupPkts++
+		if p.trc != nil {
+			p.traceFault("pkt.dup")
+		}
 		dup := *pkt
 		p.k.At(at+1, func() { p.deliver(&dup) })
 	}

@@ -1,0 +1,46 @@
+package netsim
+
+import (
+	"f4t/internal/sim"
+	"f4t/internal/telemetry"
+)
+
+// Instrument registers one pipe direction's packet/byte counts, fault
+// statistics and live serialization backlog under prefix (e.g.
+// "link.a_to_b"). Safe on a nil registry.
+func (p *Pipe) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".sent_pkts", func() int64 { return p.SentPkts })
+	reg.Gauge(prefix+".sent_bytes", func() int64 { return p.SentBytes })
+	reg.Gauge(prefix+".dropped_pkts", func() int64 { return p.DroppedPkts })
+	reg.Gauge(prefix+".dup_pkts", func() int64 { return p.DupPkts })
+	reg.Gauge(prefix+".reorder_pkts", func() int64 { return p.ReorderPkts })
+	reg.Gauge(prefix+".marked_pkts", func() int64 { return p.MarkedPkts })
+	reg.Gauge(prefix+".backlog_cycles", func() int64 { return p.Backlog() })
+}
+
+// Instrument registers both directions of the link.
+func (l *Link) Instrument(reg *telemetry.Registry, prefix string) {
+	l.AtoB.Instrument(reg, prefix+".a_to_b")
+	l.BtoA.Instrument(reg, prefix+".b_to_a")
+}
+
+// SetTracer attaches a trace ring; every packet emits a span on virtual
+// thread tid covering send → delivery (queueing + serialization +
+// propagation) with the wire length as argument, and faults emit
+// instants (pkt.drop, pkt.mark, pkt.reorder, pkt.dup) carrying the
+// packet ordinal.
+func (p *Pipe) SetTracer(trc *telemetry.Trace, tid int32) {
+	p.trc = trc
+	p.tid = tid
+}
+
+// traceSend records one delivered packet's span. Called only with a
+// tracer attached.
+func (p *Pipe) traceSend(startCycle, deliverCycle, wireLen int64) {
+	p.trc.Span("net", "pkt", p.tid, startCycle*sim.CycleNS, deliverCycle*sim.CycleNS, wireLen)
+}
+
+// traceFault records one fault-injection instant.
+func (p *Pipe) traceFault(name string) {
+	p.trc.Instant("net", name, p.tid, p.k.NowNS(), p.SentPkts)
+}

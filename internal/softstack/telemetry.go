@@ -1,0 +1,12 @@
+package softstack
+
+import "f4t/internal/telemetry"
+
+// Instrument registers the library instance's command/completion
+// accounting under prefix (e.g. "mach_a.t0.lib"). Safe on a nil
+// registry.
+func (l *Lib) Instrument(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".cmds_posted", func() int64 { return l.CmdsPosted })
+	reg.Gauge(prefix+".comps_processed", func() int64 { return l.CompsProcessed })
+	reg.Gauge(prefix+".post_failures", func() int64 { return l.PostFailures })
+}

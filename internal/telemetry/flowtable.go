@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"sort"
+
+	"f4t/internal/flow"
+)
+
+// FlowStat is the per-connection view: the congestion/RTT state sampled
+// from the TCB plus event counts accumulated by engine hooks. All byte
+// counts are derived from sequence-space pointers, so they agree exactly
+// with what the protocol machinery itself believes.
+type FlowStat struct {
+	FlowID   uint32 `json:"flow_id"`
+	State    string `json:"state"`
+	CwndB    uint32 `json:"cwnd_bytes"`
+	Ssthresh uint32 `json:"ssthresh"`
+	SRTTNS   int64  `json:"srtt_ns"`
+	RTONS    int64  `json:"rto_ns"`
+
+	BytesAcked int64 `json:"bytes_acked"` // SndUna - ISS: goodput delivered to the peer
+	BytesRcvd  int64 `json:"bytes_rcvd"`  // RcvNxt - IRS: in-order bytes received
+
+	Retransmits int64 `json:"retransmits"` // segments re-sent (engine hook)
+	RTTSamples  int64 `json:"rtt_samples"` // SRTT observations recorded
+
+	firstNS    int64 // first observation time (goodput window start)
+	firstAcked int64 // BytesAcked at first observation
+	lastNS     int64 // most recent observation time
+}
+
+// GoodputBps returns the average acked-byte rate over the observation
+// window, in bits per second.
+func (f *FlowStat) GoodputBps() float64 {
+	if f == nil || f.lastNS <= f.firstNS {
+		return 0
+	}
+	return float64(f.BytesAcked-f.firstAcked) * 8 * 1e9 / float64(f.lastNS-f.firstNS)
+}
+
+// FlowTable accumulates per-flow statistics. The engine calls Observe to
+// refresh a flow's snapshot (typically from a sampler hook walking live
+// TCBs) and OnRetransmit when it re-emits a segment. Nil tables ignore
+// everything — the disabled path.
+type FlowTable struct {
+	flows map[uint32]*FlowStat
+	rtt   *Histogram // optional: every SRTT observation across all flows
+}
+
+// NewFlowTable returns an empty flow table. rttHist, when non-nil,
+// receives every SRTT observation (register it via Registry.NewHistogram
+// to get it into snapshots).
+func NewFlowTable(rttHist *Histogram) *FlowTable {
+	return &FlowTable{flows: make(map[uint32]*FlowStat), rtt: rttHist}
+}
+
+// Observe refreshes (or creates) the stat row for tcb at simulated time
+// nowNS. No-op on nil table or nil TCB.
+func (ft *FlowTable) Observe(nowNS int64, tcb *flow.TCB) {
+	if ft == nil || tcb == nil {
+		return
+	}
+	f := ft.flows[uint32(tcb.FlowID)]
+	if f == nil {
+		f = &FlowStat{FlowID: uint32(tcb.FlowID), firstNS: nowNS}
+		ft.flows[uint32(tcb.FlowID)] = f
+	}
+	acked := int64(tcb.SndUna.DistanceFrom(tcb.ISS))
+	if f.lastNS == 0 && f.firstNS == nowNS {
+		f.firstAcked = acked
+	}
+	f.State = tcb.State.String()
+	f.CwndB = tcb.Cwnd
+	f.Ssthresh = tcb.Ssthresh
+	f.RTONS = tcb.RTO
+	f.BytesAcked = acked
+	f.BytesRcvd = int64(tcb.RcvNxt.DistanceFrom(tcb.IRS))
+	f.lastNS = nowNS
+	if tcb.SRTT > 0 && tcb.SRTT != f.SRTTNS {
+		f.SRTTNS = tcb.SRTT
+		f.RTTSamples++
+		ft.rtt.Observe(tcb.SRTT)
+	}
+}
+
+// OnRetransmit counts one retransmitted segment for flowID. No-op on nil.
+func (ft *FlowTable) OnRetransmit(flowID uint32) {
+	if ft == nil {
+		return
+	}
+	f := ft.flows[flowID]
+	if f == nil {
+		f = &FlowStat{FlowID: flowID}
+		ft.flows[flowID] = f
+	}
+	f.Retransmits++
+}
+
+// Len returns the number of tracked flows.
+func (ft *FlowTable) Len() int {
+	if ft == nil {
+		return 0
+	}
+	return len(ft.flows)
+}
+
+// Get returns the stat row for flowID, or nil.
+func (ft *FlowTable) Get(flowID uint32) *FlowStat {
+	if ft == nil {
+		return nil
+	}
+	return ft.flows[flowID]
+}
+
+// Flows returns all rows sorted by flow ID (deterministic export).
+func (ft *FlowTable) Flows() []*FlowStat {
+	if ft == nil {
+		return nil
+	}
+	out := make([]*FlowStat, 0, len(ft.flows))
+	for _, f := range ft.flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FlowID < out[j].FlowID })
+	return out
+}
+
+// TotalRetransmits sums retransmit counts across all flows.
+func (ft *FlowTable) TotalRetransmits() int64 {
+	if ft == nil {
+		return 0
+	}
+	var n int64
+	for _, f := range ft.flows {
+		n += f.Retransmits
+	}
+	return n
+}

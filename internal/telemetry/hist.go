@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i holds
+// samples v with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0
+// holds v <= 0). 64 buckets cover the full int64 range, so nanosecond
+// latencies, byte counts and queue depths all fit without configuration.
+const histBuckets = 64
+
+// Histogram is a log-bucketed distribution: O(1) observe with zero
+// allocation (the simulator observes on hot paths), bounded memory
+// regardless of sample count, and quantiles accurate to the bucket width
+// (a factor of two) — the right trade-off for the RTT/latency/queue-depth
+// distributions the experiments care about, where order of magnitude and
+// tail shape matter more than the third significant digit.
+//
+// Unlike sim.Histogram (exact order statistics over stored samples, used
+// by experiment runners that need precise medians), telemetry histograms
+// never grow, so they can run attached to million-event workloads.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Name returns the registered metric name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one sample. No-op on a nil histogram — the disabled
+// telemetry path.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns recorded samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest observed sample (exact, not bucketed).
+func (h *Histogram) Min() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample (exact, not bucketed).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1): the
+// geometric midpoint of the bucket containing the q-th sample, clamped to
+// the observed min/max so single-bucket distributions report exactly.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max // tracked exactly
+	}
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// bucketMid returns the geometric midpoint of bucket i's value range.
+func bucketMid(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	lo := int64(1) << (i - 1) // inclusive
+	hi := lo << 1             // exclusive
+	if hi <= lo {             // bucket 63 overflow guard
+		return lo
+	}
+	return lo + (hi-lo)/2
+}
+
+// Buckets invokes fn for every non-empty bucket with its inclusive lower
+// bound, exclusive upper bound and count (export path).
+func (h *Histogram) Buckets(fn func(lo, hi, count int64)) {
+	if h == nil {
+		return
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if i == 0 {
+			fn(0, 1, n)
+			continue
+		}
+		lo := int64(1) << (i - 1)
+		hi := lo << 1
+		if hi <= lo {
+			hi = 1<<63 - 1
+		}
+		fn(lo, hi, n)
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{name: h.name}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h == nil {
+		return "hist(nil)"
+	}
+	return fmt.Sprintf("hist{n=%d p50~%d p99~%d max=%d}", h.Count(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import "f4t/internal/sim"
+
+// Series is one metric's sampled time series: parallel slices of
+// simulated-time nanosecond stamps and values.
+type Series struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	AtNS []int64 `json:"at_ns"`
+	Val  []int64 `json:"val"`
+}
+
+// Sampler periodically snapshots every registry metric on the simulation
+// clock, building bounded time series. It drives itself with a
+// self-rechaining kernel timer, so a skipping kernel and a shadow kernel
+// sample at identical cycles; the timer only pins cycles that would
+// otherwise be provably idle, so sampling never changes simulation
+// results — it only bounds how far the kernel may fast-forward at once.
+type Sampler struct {
+	k       *sim.Kernel
+	reg     *Registry
+	every   int64 // sampling period in cycles
+	max     int   // points per series; sampling stops when reached
+	series  []*Series
+	hooks   []func(nowNS int64)
+	taken   int
+	stopped bool
+}
+
+// DefaultSamplePoints bounds each series; at the default period that is
+// plenty for any standard rig while keeping memory flat.
+const DefaultSamplePoints = 4096
+
+// StartSampler begins sampling reg every everyCycles kernel cycles (<= 0
+// selects 25_000 cycles = 100 us of simulated time), keeping at most
+// maxPoints per series (<= 0 selects DefaultSamplePoints). Returns nil —
+// still safe to use — when k or reg is nil.
+func StartSampler(k *sim.Kernel, reg *Registry, everyCycles int64, maxPoints int) *Sampler {
+	if k == nil || reg == nil {
+		return nil
+	}
+	if everyCycles <= 0 {
+		everyCycles = 25_000
+	}
+	if maxPoints <= 0 {
+		maxPoints = DefaultSamplePoints
+	}
+	s := &Sampler{k: k, reg: reg, every: everyCycles, max: maxPoints}
+	reg.each(func(name string, kind Kind, _ int64) {
+		s.series = append(s.series, &Series{Name: name, Kind: kind.String()})
+	})
+	k.After(everyCycles, s.tick)
+	return s
+}
+
+// tick takes one sample and rechains the timer.
+func (s *Sampler) tick() {
+	if s.stopped || s.taken >= s.max {
+		return
+	}
+	s.take()
+	s.k.After(s.every, s.tick)
+}
+
+// take records one sample of every metric at the current simulated time.
+func (s *Sampler) take() {
+	nowNS := s.k.NowNS()
+	i := 0
+	s.reg.each(func(_ string, _ Kind, v int64) {
+		// Metrics registered after StartSampler are not tracked; the
+		// series list is fixed at start so indexes stay aligned.
+		if i >= len(s.series) {
+			return
+		}
+		sr := s.series[i]
+		sr.AtNS = append(sr.AtNS, nowNS)
+		sr.Val = append(sr.Val, v)
+		i++
+	})
+	for _, fn := range s.hooks {
+		fn(nowNS)
+	}
+	s.taken++
+}
+
+// AddHook registers fn to run at every sampling tick (flow-table
+// sampling, app callbacks). No-op on nil.
+func (s *Sampler) AddHook(fn func(nowNS int64)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.hooks = append(s.hooks, fn)
+}
+
+// Stop halts sampling; the pending timer becomes a no-op.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.stopped = true
+}
+
+// Points returns how many sampling ticks have run.
+func (s *Sampler) Points() int {
+	if s == nil {
+		return 0
+	}
+	return s.taken
+}
+
+// Series returns the collected time series in registration order.
+func (s *Sampler) Series() []*Series {
+	if s == nil {
+		return nil
+	}
+	return s.series
+}
+
+// SeriesFor returns the series for one metric name, or nil.
+func (s *Sampler) SeriesFor(name string) *Series {
+	if s == nil {
+		return nil
+	}
+	for _, sr := range s.series {
+		if sr.Name == name {
+			return sr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one structured trace record: a span (DurNS > 0 or a zero-dur
+// complete event) or an instant (Instant == true). Name and Cat must be
+// static strings — emission never allocates; the ring stores values.
+type Event struct {
+	StartNS int64  // simulated-time start
+	DurNS   int64  // span duration (0 for instants)
+	Name    string // event name ("fpu.pass", "cmd.fetch", ...)
+	Cat     string // layer category ("engine", "hostif", "net", "app")
+	TID     int32  // virtual thread: one per hardware unit / pipe / app
+	Arg     int64  // optional numeric payload (bytes, batch size, flow id)
+	Instant bool
+}
+
+// Trace is a bounded ring buffer of events. When full, the oldest events
+// are overwritten — a trace keeps the most recent window, like a flight
+// recorder — and Dropped counts what was lost. The zero capacity default
+// is DefaultTraceEvents.
+type Trace struct {
+	ring    []Event
+	next    int   // ring write cursor
+	total   int64 // events ever emitted
+	threads map[int32]string
+}
+
+// DefaultTraceEvents is the default ring capacity: enough for several
+// simulated milliseconds of a busy two-node rig (~tens of events/us).
+const DefaultTraceEvents = 1 << 16
+
+// NewTrace builds a trace ring with the given capacity (<= 0 selects
+// DefaultTraceEvents).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{ring: make([]Event, 0, capacity), threads: make(map[int32]string)}
+}
+
+// SetThreadName labels a virtual thread for the trace viewer.
+func (t *Trace) SetThreadName(tid int32, name string) {
+	if t == nil {
+		return
+	}
+	t.threads[tid] = name
+}
+
+// emit appends one event, overwriting the oldest when full.
+func (t *Trace) emit(e Event) {
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+	}
+}
+
+// Span records a duration event covering [startNS, endNS]. No-op on nil.
+func (t *Trace) Span(cat, name string, tid int32, startNS, endNS, arg int64) {
+	if t == nil {
+		return
+	}
+	d := endNS - startNS
+	if d < 0 {
+		d = 0
+	}
+	t.emit(Event{StartNS: startNS, DurNS: d, Name: name, Cat: cat, TID: tid, Arg: arg})
+}
+
+// Instant records a point event. No-op on nil.
+func (t *Trace) Instant(cat, name string, tid int32, nowNS, arg int64) {
+	if t == nil {
+		return
+	}
+	t.emit(Event{StartNS: nowNS, Name: name, Cat: cat, TID: tid, Arg: arg, Instant: true})
+}
+
+// Len returns events currently held (<= capacity).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
+// Total returns events ever emitted, including overwritten ones.
+func (t *Trace) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns events lost to ring overwrite.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - int64(len(t.ring))
+}
+
+// Events returns the held events in emission order (oldest first).
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// tracePID is the single process all events report; the simulator is one
+// "process", its hardware units are the threads.
+const tracePID = 1
+
+// Export writes the trace in Chrome trace-event JSON ("JSON object
+// format"), loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Timestamps are microseconds (the format's unit); sub-microsecond
+// simulated durations survive as fractions. When sampler is non-nil its
+// time series are appended as counter ("ph":"C") tracks, so registry
+// metrics plot alongside the spans.
+func (t *Trace) Export(w io.Writer, sampler *Sampler) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+	}
+	if t != nil {
+		tids := make([]int32, 0, len(t.threads))
+		for tid := range t.threads {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+				tracePID, tid, t.threads[tid])
+		}
+		for _, e := range t.Events() {
+			sep()
+			if e.Instant {
+				fmt.Fprintf(bw, `{"ph":"i","pid":%d,"tid":%d,"cat":%q,"name":%q,"ts":%s,"s":"t","args":{"v":%d}}`,
+					tracePID, e.TID, e.Cat, e.Name, us(e.StartNS), e.Arg)
+			} else {
+				fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"cat":%q,"name":%q,"ts":%s,"dur":%s,"args":{"v":%d}}`,
+					tracePID, e.TID, e.Cat, e.Name, us(e.StartNS), us(e.DurNS), e.Arg)
+			}
+		}
+	}
+	if sampler != nil {
+		for _, s := range sampler.Series() {
+			for i := range s.AtNS {
+				sep()
+				fmt.Fprintf(bw, `{"ph":"C","pid":%d,"name":%q,"ts":%s,"args":{"value":%d}}`,
+					tracePID, s.Name, us(s.AtNS[i]), s.Val[i])
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// us renders nanoseconds as a decimal microsecond literal without
+// floating-point round-off (123456 ns -> "123.456").
+func us(ns int64) string {
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", sign, ns/1000, ns%1000)
+}
