@@ -1,0 +1,295 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"f4t/internal/flow"
+	"f4t/internal/wire"
+)
+
+// The minimizer's correctness rests on schedules being prefix-stable:
+// truncating the phase count must not change the phases that remain.
+func TestSchedulePrefixProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 12345} {
+		long := NewSchedule(seed, 10)
+		for n := 1; n < 10; n++ {
+			short := NewSchedule(seed, n)
+			for i := 0; i < n; i++ {
+				if short.Phases[i] != long.Phases[i] {
+					t.Fatalf("seed %d: phase %d differs between len-%d and len-10 schedules:\n%+v\n%+v",
+						seed, i, n, short.Phases[i], long.Phases[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleCoversFaultMenu(t *testing.T) {
+	// Across a modest seed range the generator must exercise every
+	// archetype — otherwise CI sweeps silently lose coverage.
+	seen := map[string]bool{}
+	for seed := uint64(1); seed <= 40; seed++ {
+		for _, p := range NewSchedule(seed, 6).Phases {
+			seen[p.Name] = true
+		}
+	}
+	for _, want := range phaseMenu {
+		if !seen[want] {
+			t.Errorf("archetype %q never generated in 40 seeds × 6 phases", want)
+		}
+	}
+}
+
+func TestMinimizeFindsShortestPrefix(t *testing.T) {
+	calls := 0
+	fails := func(c Config) Result {
+		calls++
+		if c.Phases >= 4 {
+			return Result{Violations: []Violation{{Invariant: "synthetic"}}}
+		}
+		return Result{}
+	}
+	cfg := DefaultConfig()
+	cfg.Phases = 9
+	min, res, ok := Minimize(cfg, fails)
+	if !ok || min.Phases != 4 {
+		t.Fatalf("minimized to %d phases (ok=%v), want 4", min.Phases, ok)
+	}
+	if !res.Failed() {
+		t.Fatal("minimizer returned a passing result")
+	}
+	if calls != 4 {
+		t.Fatalf("linear scan took %d runs, want 4", calls)
+	}
+
+	passes := func(Config) Result { return Result{} }
+	if _, _, ok := Minimize(cfg, passes); ok {
+		t.Fatal("minimizer claimed success on a passing config")
+	}
+}
+
+// --- invariant checkers must trip on known-bad traces ---
+
+type sinkT struct{ got []Violation }
+
+func (s *sinkT) sink(v Violation) { s.got = append(s.got, v) }
+
+func (s *sinkT) has(invariant string) bool {
+	for _, v := range s.got {
+		if v.Invariant == invariant {
+			return true
+		}
+	}
+	return false
+}
+
+func goodTCB(id flow.ID) *flow.TCB {
+	return &flow.TCB{
+		FlowID: id,
+		Tuple:  wire.FourTuple{LocalPort: 100, RemotePort: uint16(id)},
+		State:  flow.StateEstablished,
+		SndUna: 1000, SndNxt: 2000, Req: 2000,
+		RcvNxt: 5000, DeliveredTo: 5000,
+	}
+}
+
+func TestTrackerAckRegression(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tr.observe(tcb, 100)
+	tcb.SndUna = 900 // the ACK pointer retreats
+	tr.observe(tcb, 200)
+	if !s.has("ack-regression") {
+		t.Fatalf("ack regression not caught: %v", s.got)
+	}
+}
+
+func TestTrackerSndUnaBeyondNxt(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tcb.SndUna = 3000 // beyond SndNxt=2000
+	tr.observe(tcb, 100)
+	if !s.has("snd-una-beyond-nxt") {
+		t.Fatalf("SndUna>SndNxt not caught: %v", s.got)
+	}
+}
+
+func TestTrackerDeliveredBeyondRcvNxt(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tcb.DeliveredTo = 6000 // announced data that never arrived
+	tr.observe(tcb, 100)
+	if !s.has("delivered-beyond-rcvnxt") {
+		t.Fatalf("DeliveredTo>RcvNxt not caught: %v", s.got)
+	}
+}
+
+func TestTrackerIllegalTransition(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tr.observe(tcb, 100)
+	tcb.State = flow.StateSynSent // ESTABLISHED cannot go back to SYN-SENT
+	tr.observe(tcb, 200)
+	if !s.has("illegal-state-transition") {
+		t.Fatalf("illegal transition not caught: %v", s.got)
+	}
+}
+
+func TestTrackerLegalPathsAccepted(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	// A sampled walk with gaps: SYN_SENT → ESTABLISHED → (FIN_WAIT_1
+	// skipped) → FIN_WAIT_2 → CLOSED. All legal under the closure.
+	for _, st := range []flow.State{
+		flow.StateSynSent, flow.StateEstablished, flow.StateFinWait2, flow.StateClosed,
+	} {
+		tcb.State = st
+		tr.observe(tcb, 100)
+	}
+	if len(s.got) != 0 {
+		t.Fatalf("legal trace produced violations: %v", s.got)
+	}
+}
+
+func TestTrackerFlowIDReuseResetsHistory(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tr.observe(tcb, 100)
+	// Engine slot reuse: same flow ID, brand-new connection with a
+	// different tuple and completely unrelated sequence space.
+	fresh := goodTCB(1)
+	fresh.Tuple.RemotePort = 999
+	fresh.State = flow.StateSynSent
+	fresh.SndUna, fresh.SndNxt, fresh.Req = 50, 51, 50
+	fresh.RcvNxt, fresh.DeliveredTo = 0, 0
+	tr.observe(fresh, 200)
+	if len(s.got) != 0 {
+		t.Fatalf("tuple change should reset tracking, got: %v", s.got)
+	}
+}
+
+func TestTrackerBackoffRewind(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tcb.Backoff = 3
+	tr.observe(tcb, 100)
+	tcb.Backoff = 1 // rewinds while SndUna is pinned
+	tr.observe(tcb, 200)
+	if !s.has("backoff-rewind") {
+		t.Fatalf("backoff rewind not caught: %v", s.got)
+	}
+
+	// But a rewind together with an ACK advance is legitimate.
+	var s2 sinkT
+	tr2 := newTracker("X", s2.sink)
+	tcb2 := goodTCB(2)
+	tcb2.Backoff = 3
+	tr2.observe(tcb2, 100)
+	tcb2.Backoff = 0
+	tcb2.SndUna = 1500
+	tr2.observe(tcb2, 200)
+	if s2.has("backoff-rewind") {
+		t.Fatal("backoff reset after ACK progress flagged as violation")
+	}
+}
+
+func TestTrackerTimerArmedOnClosed(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", s.sink)
+	tcb := goodTCB(1)
+	tcb.State = flow.StateClosed
+	tcb.RetransAt = 12345
+	tr.observe(tcb, 100)
+	if !s.has("timer-armed-on-closed") {
+		t.Fatalf("armed timer on closed flow not caught: %v", s.got)
+	}
+}
+
+// --- full-rig sweeps ---
+
+// smokeConfig keeps in-test sweeps quick; CI's f4tconform run covers the
+// larger shapes.
+func smokeConfig(rig RigKind, seed uint64) Config {
+	return Config{Rig: rig, Seed: seed, Phases: 4, Conns: 3, Chunk: 4096}
+}
+
+func TestRigSweepClean(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, rig := range AllRigs {
+		for _, seed := range seeds {
+			t.Run(rig.String(), func(t *testing.T) {
+				res := Run(smokeConfig(rig, seed))
+				if res.Failed() {
+					var b strings.Builder
+					for _, v := range res.Violations {
+						b.WriteString("\n  " + v.String())
+					}
+					t.Fatalf("seed %d violated invariants (%s):%s\n%s",
+						seed, res.Sched, b.String(), ReplayCommand(smokeConfig(rig, seed)))
+				}
+				if !res.Drained {
+					t.Fatalf("seed %d failed to drain", seed)
+				}
+			})
+		}
+	}
+}
+
+// findRSTStormSeed scans for a seed whose schedule arms forged-RST
+// injection in phase 1 — directly after the clean warm-up, while the
+// streams are still hot. (A storm later in the schedule can land while
+// every connection sits in RTO backoff from a preceding loss phase, with
+// no traffic to shadow.) Deterministic, so the tests using it are stable.
+func findRSTStormSeed(t *testing.T, phases int) uint64 {
+	t.Helper()
+	for seed := uint64(1); seed < 200; seed++ {
+		if NewSchedule(seed, phases).Phases[1].RstEvery > 0 {
+			return seed
+		}
+	}
+	t.Fatal("no rst-storm schedule in 200 seeds")
+	return 0
+}
+
+// Forged out-of-window resets must be injected, must all be discarded by
+// sequence validation, and must not kill any connection.
+func TestForgedRSTsAreDropped(t *testing.T) {
+	seed := findRSTStormSeed(t, 4)
+	res := Run(smokeConfig(RigSoftSoft, seed))
+	if res.ForgedRSTs == 0 {
+		t.Fatal("rst-storm phase forged nothing")
+	}
+	if res.OowRstDrops == 0 {
+		t.Fatal("no forged reset was counted as dropped — validation not exercised")
+	}
+	if res.Failed() {
+		t.Fatalf("forged RSTs caused violations: %v", res.Violations)
+	}
+}
+
+// The engine↔stack differential rig is the paper's own comparison:
+// both substrates run the same tcpproc core, so a chaos run that is
+// clean on one and dirty on the other pins a substrate bug.
+func TestDifferentialRigMatchesSoftware(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep skipped in -short")
+	}
+	seed := findRSTStormSeed(t, 4)
+	for _, rig := range []RigKind{RigSoftSoft, RigEngineSoft} {
+		res := Run(smokeConfig(rig, seed))
+		if res.Failed() {
+			t.Fatalf("%s: %v", rig, res.Violations)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzChaosSeed lets the fuzzer drive the seed space directly: every
+// input is a complete, deterministic chaos run, and any crash or
+// invariant violation it finds is replayable from the corpus entry
+// alone. Runs are kept short (two phases) so the fuzzer gets throughput;
+// the CI seed sweep covers the longer shapes.
+func FuzzChaosSeed(f *testing.F) {
+	f.Add(uint64(1), uint8(0))
+	f.Add(uint64(7), uint8(1))
+	f.Add(uint64(42), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, rigSel uint8) {
+		cfg := Config{
+			Rig:    AllRigs[int(rigSel)%len(AllRigs)],
+			Seed:   seed,
+			Phases: 2,
+			Conns:  2,
+			Chunk:  2048,
+		}
+		res := Run(cfg)
+		if res.Failed() {
+			var b strings.Builder
+			for _, v := range res.Violations {
+				b.WriteString("\n  " + v.String())
+			}
+			t.Fatalf("seed %d rig %s violated invariants (%s):%s\nreplay: %s",
+				seed, cfg.Rig, res.Sched, b.String(), ReplayCommand(cfg))
+		}
+		if !res.Drained {
+			t.Fatalf("seed %d rig %s failed to drain\nreplay: %s",
+				seed, cfg.Rig, ReplayCommand(cfg))
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package conformance
+
+import "fmt"
+
+// Minimize shrinks a failing configuration to the shortest schedule
+// prefix that still reproduces a failure. Because NewSchedule(seed, n)
+// is an exact prefix of NewSchedule(seed, m) for n < m, truncating the
+// phase count replays the identical fault sequence up to the cut — so a
+// linear scan from the front finds the minimal reproducer in at most
+// cfg.Phases runs. run is injectable for tests; pass Run.
+//
+// The returned Config reproduces the returned Result exactly; ok is
+// false when no prefix (including the full schedule) fails, i.e. the
+// original failure did not reproduce.
+func Minimize(cfg Config, run func(Config) Result) (Config, Result, bool) {
+	for n := 1; n <= cfg.Phases; n++ {
+		c := cfg
+		c.Phases = n
+		res := run(c)
+		if res.Failed() {
+			return c, res, true
+		}
+	}
+	return cfg, Result{}, false
+}
+
+// ReplayCommand renders the exact command that reproduces a
+// configuration, for pasting from a failure report.
+func ReplayCommand(cfg Config) string {
+	return fmt.Sprintf("go run ./cmd/f4tconform -rig %s -seed %d -phases %d -conns %d -chunk %d",
+		cfg.Rig, cfg.Seed, cfg.Phases, cfg.Conns, cfg.Chunk)
+}

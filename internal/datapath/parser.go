@@ -100,9 +100,16 @@ func (p *Parser) Parse(pkt *wire.Packet) ParseResult {
 	ev := flow.Event{Kind: flow.EvRx, Flow: id, Coalescable: true}
 	hdr := &pkt.TCP
 
-	// Connection flags.
+	// Connection flags. An RST carries its sequence number (and ack, if
+	// present) through the event so the FPU can validate it against the
+	// receive window before honouring the abort (RFC 793 §3.4).
 	if hdr.Flags&wire.FlagRST != 0 {
 		ev.RxFlags |= flow.RxRST
+		ev.RstSeq = hdr.Seq
+		if hdr.Flags&wire.FlagACK != 0 {
+			ev.RstHasAck = true
+			ev.RstAck = hdr.Ack
+		}
 		ev.Coalescable = false
 		return ParseResult{Event: ev}
 	}

@@ -1,0 +1,44 @@
+package datapath
+
+import (
+	"f4t/internal/seqnum"
+	"f4t/internal/wire"
+)
+
+// OrphanRST builds the RFC 793 §3.4 reset answering a segment that
+// matched no connection. When the orphan carries an ACK, the reset
+// claims that acknowledged sequence number and needs no ACK of its own;
+// otherwise it sits at sequence zero and acknowledges everything the
+// orphan occupied — payload plus one for SYN and FIN each — so a peer
+// in SYN-SENT recognizes it as covering its SYN. Returns nil for RST
+// input (a reset never answers a reset).
+func OrphanRST(pkt *wire.Packet, localIP wire.Addr, localMAC wire.MAC) *wire.Packet {
+	if pkt.Kind != wire.KindTCP || pkt.TCP.Flags&wire.FlagRST != 0 {
+		return nil
+	}
+	hdr := wire.TCPHeader{SrcPort: pkt.TCP.DstPort, DstPort: pkt.TCP.SrcPort}
+	if pkt.TCP.Flags&wire.FlagACK != 0 {
+		hdr.Seq = pkt.TCP.Ack
+		hdr.Flags = wire.FlagRST
+	} else {
+		segLen := seqnum.Size(pkt.PayloadLen)
+		if pkt.TCP.Flags&wire.FlagSYN != 0 {
+			segLen++
+		}
+		if pkt.TCP.Flags&wire.FlagFIN != 0 {
+			segLen++
+		}
+		hdr.Seq = 0
+		hdr.Ack = pkt.TCP.Seq.Add(segLen)
+		hdr.Flags = wire.FlagRST | wire.FlagACK
+	}
+	return &wire.Packet{
+		Kind: wire.KindTCP,
+		Eth:  wire.EthHeader{Src: localMAC, Dst: pkt.Eth.Src, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: localIP, Dst: pkt.IP.Src,
+			TTL: wire.DefaultTTL, Protocol: wire.ProtoTCP,
+		},
+		TCP: hdr,
+	}
+}

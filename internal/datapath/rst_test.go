@@ -1,0 +1,89 @@
+package datapath
+
+import (
+	"testing"
+
+	"f4t/internal/seqnum"
+	"f4t/internal/wire"
+)
+
+var (
+	rstLocalIP  = wire.MakeAddr(10, 0, 0, 9)
+	rstLocalMAC = wire.MAC{2, 0, 0, 0, 0, 9}
+	rstPeerMAC  = wire.MAC{2, 0, 0, 0, 0, 8}
+)
+
+func orphan(flags uint8, seq, ack uint32, payload int) *wire.Packet {
+	return &wire.Packet{
+		Kind: wire.KindTCP,
+		Eth:  wire.EthHeader{Src: rstPeerMAC, Dst: rstLocalMAC, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: wire.MakeAddr(10, 0, 0, 8), Dst: rstLocalIP,
+			TTL: 64, Protocol: wire.ProtoTCP,
+		},
+		TCP: wire.TCPHeader{
+			SrcPort: 5555, DstPort: 80,
+			Seq: seqnum.Value(seq), Ack: seqnum.Value(ack), Flags: flags,
+		},
+		PayloadLen: payload,
+	}
+}
+
+// RFC 793 §3.4: if the orphan has an ACK, the reset takes its sequence
+// number from that ACK field and carries no ACK of its own.
+func TestOrphanRSTForAckSegment(t *testing.T) {
+	rst := OrphanRST(orphan(wire.FlagACK, 1000, 2000, 100), rstLocalIP, rstLocalMAC)
+	if rst == nil {
+		t.Fatal("no RST for ACK-bearing orphan")
+	}
+	if rst.TCP.Flags != wire.FlagRST {
+		t.Fatalf("flags = %#x, want bare RST", rst.TCP.Flags)
+	}
+	if got := uint32(rst.TCP.Seq); got != 2000 {
+		t.Fatalf("RST seq = %d, want SEG.ACK = 2000", got)
+	}
+	if rst.TCP.SrcPort != 80 || rst.TCP.DstPort != 5555 {
+		t.Fatalf("ports not mirrored: %d→%d", rst.TCP.SrcPort, rst.TCP.DstPort)
+	}
+}
+
+// Without an ACK the reset sits at sequence zero and acknowledges the
+// orphan's whole occupancy: payload plus one for SYN, so a dialer in
+// SYN-SENT sees ACK == its SND.NXT and accepts the reset.
+func TestOrphanRSTForSynSegment(t *testing.T) {
+	rst := OrphanRST(orphan(wire.FlagSYN, 7000, 0, 0), rstLocalIP, rstLocalMAC)
+	if rst == nil {
+		t.Fatal("no RST for SYN orphan")
+	}
+	if rst.TCP.Flags != wire.FlagRST|wire.FlagACK {
+		t.Fatalf("flags = %#x, want RST|ACK", rst.TCP.Flags)
+	}
+	if got := uint32(rst.TCP.Seq); got != 0 {
+		t.Fatalf("RST seq = %d, want 0", got)
+	}
+	if got := uint32(rst.TCP.Ack); got != 7001 {
+		t.Fatalf("RST ack = %d, want SEG.SEQ+1 = 7001", got)
+	}
+}
+
+// A FIN-bearing data segment occupies payload + 1 sequence numbers.
+func TestOrphanRSTForFinData(t *testing.T) {
+	rst := OrphanRST(orphan(wire.FlagFIN, 5000, 0, 40), rstLocalIP, rstLocalMAC)
+	if rst == nil {
+		t.Fatal("no RST for FIN orphan")
+	}
+	if got := uint32(rst.TCP.Ack); got != 5041 {
+		t.Fatalf("RST ack = %d, want SEG.SEQ+len+1 = 5041", got)
+	}
+}
+
+// A reset never answers a reset — otherwise two endpoints with stale
+// state would volley RSTs forever.
+func TestOrphanRSTNeverAnswersRST(t *testing.T) {
+	if rst := OrphanRST(orphan(wire.FlagRST, 1000, 0, 0), rstLocalIP, rstLocalMAC); rst != nil {
+		t.Fatalf("RST answered with RST: %+v", rst.TCP)
+	}
+	if rst := OrphanRST(orphan(wire.FlagRST|wire.FlagACK, 1000, 2000, 0), rstLocalIP, rstLocalMAC); rst != nil {
+		t.Fatalf("RST|ACK answered with RST: %+v", rst.TCP)
+	}
+}

@@ -138,6 +138,7 @@ type Engine struct {
 	CompletionsSent sim.Counter
 	FlowsAccepted   sim.Counter
 	RetransSegs     sim.Counter // segments re-sent (loss recovery + RTO)
+	OowRstDrops     sim.Counter // inbound RSTs dropped by sequence validation
 
 	// Telemetry (nil when disabled; see telemetry.go).
 	trc *telemetry.Trace
@@ -588,6 +589,13 @@ func (e *Engine) handleRx(pkt *wire.Packet) {
 			}
 		}
 		e.RxNoFlow.Inc()
+		// RFC 793 §3.4: a non-RST segment to a non-existent connection
+		// draws a reset, so peers holding stale state tear down promptly
+		// instead of retransmitting into the void until their RTO chain
+		// exhausts.
+		if rst := datapath.OrphanRST(pkt, e.cfg.IP, e.cfg.MAC); rst != nil {
+			e.transmit(rst)
+		}
 		return
 	}
 	if res.Dropped {
@@ -652,6 +660,9 @@ func (e *Engine) applyActions(t *flow.TCB, a *tcpproc.Actions) {
 		e.emitNote(fm, &a.Notes[i])
 	}
 	e.timers.SyncFromTCB(t)
+	if a.OowRstDropped {
+		e.OowRstDrops.Inc()
+	}
 	if a.FreeFlow {
 		e.freeFlow(t.FlowID)
 	}

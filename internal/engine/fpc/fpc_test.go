@@ -288,8 +288,8 @@ func TestStallModeFractionalCycles(t *testing.T) {
 func TestFreeFlowReleasesSlot(t *testing.T) {
 	r := newRig(Config{Slots: 2, FPULatency: 5})
 	r.f.InstallNew(newTCB(1))
-	// An RST event terminates the flow; the slot must free.
-	r.f.EnqueueEvent(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST})
+	// An in-window RST event terminates the flow; the slot must free.
+	r.f.EnqueueEvent(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST, RstSeq: 5001})
 	r.k.Run(50)
 	if r.f.Has(1) || r.f.FlowCount() != 0 {
 		t.Fatal("terminated flow still resident")

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"f4t/internal/seqnum"
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// A segment that matches no flow must draw the RFC 793 §3.4 reset, so a
+// peer holding stale connection state tears down promptly instead of
+// retransmitting into the void until its RTO chain exhausts.
+func TestOrphanSegmentDrawsRST(t *testing.T) {
+	k := sim.New()
+	cfg := DefaultConfig()
+	cfg.IP, cfg.MAC, cfg.Seed = wire.MakeAddr(10, 2, 0, 1), wire.MAC{2, 2, 0, 0, 0, 1}, 3
+	var sent []*wire.Packet
+	e := New(k, cfg, func(p *wire.Packet) { sent = append(sent, p) })
+	k.Register(sim.TickerFunc(e.Tick))
+
+	peerMAC := wire.MAC{2, 2, 0, 0, 0, 2}
+	orphan := &wire.Packet{
+		Kind: wire.KindTCP,
+		Eth:  wire.EthHeader{Src: peerMAC, Dst: cfg.MAC, Type: wire.EtherTypeIPv4},
+		IP: wire.IPv4Header{
+			Src: wire.MakeAddr(10, 2, 0, 2), Dst: cfg.IP,
+			TTL: 64, Protocol: wire.ProtoTCP,
+		},
+		TCP: wire.TCPHeader{
+			SrcPort: 9999, DstPort: 8888,
+			Seq: seqnum.Value(1000), Ack: seqnum.Value(2000), Flags: wire.FlagACK,
+		},
+	}
+	e.DeliverPacket(orphan)
+	if !k.RunUntil(func() bool { return len(sent) > 0 }, 100_000) {
+		t.Fatal("engine never answered the orphan segment")
+	}
+	rst := sent[0]
+	if rst.Kind != wire.KindTCP || rst.TCP.Flags != wire.FlagRST {
+		t.Fatalf("reply flags = %#x, want bare RST", rst.TCP.Flags)
+	}
+	if uint32(rst.TCP.Seq) != 2000 {
+		t.Fatalf("RST seq = %d, want SEG.ACK = 2000", uint32(rst.TCP.Seq))
+	}
+	if rst.TCP.SrcPort != 8888 || rst.TCP.DstPort != 9999 {
+		t.Fatalf("ports not mirrored: %d→%d", rst.TCP.SrcPort, rst.TCP.DstPort)
+	}
+	if rst.Eth.Dst != peerMAC {
+		t.Fatal("RST not addressed to the orphan's source MAC")
+	}
+	if e.RxNoFlow.Total() != 1 {
+		t.Fatalf("RxNoFlow = %d, want 1", e.RxNoFlow.Total())
+	}
+
+	// A stray RST must not be answered (no reset volleys).
+	sent = sent[:0]
+	stray := *orphan
+	stray.TCP.Flags = wire.FlagRST
+	e.DeliverPacket(&stray)
+	k.Run(100_000)
+	if len(sent) != 0 {
+		t.Fatalf("engine answered an RST with %d packets", len(sent))
+	}
+}

@@ -21,6 +21,7 @@ func (e *Engine) Instrument(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".completions_sent", &e.CompletionsSent)
 	reg.Counter(prefix+".flows_accepted", &e.FlowsAccepted)
 	reg.Counter(prefix+".retrans_segs", &e.RetransSegs)
+	reg.Counter(prefix+".oow_rst_drops", &e.OowRstDrops)
 	reg.Gauge(prefix+".flows", func() int64 { return int64(len(e.flows)) })
 	reg.Gauge(prefix+".rx_queue", func() int64 { return int64(e.rxQueue.Len()) })
 

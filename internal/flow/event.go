@@ -44,6 +44,9 @@ type Event struct {
 	RxFlags  uint8        // RxSYN/RxFIN/RxRST occurrence bits
 	SynSeq   seqnum.Value // peer ISN, valid when RxSYN set
 	FinSeq   seqnum.Value // sequence the peer's FIN occupies, valid when RxFIN set
+	RstSeq   seqnum.Value // sequence the RST carries, valid when RxRST set
+	RstAck   seqnum.Value // the RST's acknowledgment field, valid when RstHasAck
+	RstHasAck bool        // the RST carried an ACK (validates resets in SYN-SENT)
 	CE       bool         // data arrived CE-marked (RFC 3168 / DCTCP)
 	ECE      bool         // ack carried the ECN-echo flag
 
@@ -110,6 +113,9 @@ type EventRow struct {
 	RxFlags uint8        // OR of RxSYN/RxFIN/RxRST since last construction
 	SynSeq  seqnum.Value
 	FinSeq  seqnum.Value
+	RstSeq  seqnum.Value // latest RST's sequence number
+	RstAck  seqnum.Value // latest RST's ack field
+	RstHasAck bool
 	Timeouts uint8 // OR of timeout occurrence bits
 	Ctl      uint8 // OR of control-request bits
 	DupAckInc uint16 // duplicate-ACK increments (the single-cycle RMW, §4.2.1)
@@ -169,6 +175,11 @@ func (r *EventRow) Accumulate(e *Event) {
 			}
 			if e.RxFlags&RxFIN != 0 {
 				r.FinSeq = e.FinSeq
+			}
+			if e.RxFlags&RxRST != 0 {
+				r.RstSeq = e.RstSeq
+				r.RstAck = e.RstAck
+				r.RstHasAck = e.RstHasAck
 			}
 			r.Valid |= VRxFlags
 		}
@@ -232,6 +243,11 @@ func (r *EventRow) MergeInto(t *TCB) {
 		}
 		if r.RxFlags&RxFIN != 0 {
 			in.FinSeq = r.FinSeq
+		}
+		if r.RxFlags&RxRST != 0 {
+			in.RstSeq = r.RstSeq
+			in.RstAck = r.RstAck
+			in.RstHasAck = r.RstHasAck
 		}
 		in.Valid |= VRxFlags
 	}

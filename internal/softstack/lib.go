@@ -233,6 +233,9 @@ type Socket struct {
 	closeSent   bool
 }
 
+// LocalPort returns the port this socket is bound to.
+func (s *Socket) LocalPort() uint16 { return s.localPort }
+
 func (s *Socket) anchor(sndBase, rcvBase seqnum.Value) {
 	if s.anchored {
 		return

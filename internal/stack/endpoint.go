@@ -65,6 +65,7 @@ type Endpoint struct {
 	// Stats.
 	RxPkts, TxPkts       int64
 	RxNoFlow, RxDropped  int64
+	RxOowRsts            int64 // inbound RSTs dropped by sequence validation
 	ProcessedEvents      int64
 }
 
@@ -113,25 +114,47 @@ func (e *Endpoint) Conns() int { return len(e.conns) }
 // Conn returns a connection by flow ID.
 func (e *Endpoint) Conn(id flow.ID) *Conn { return e.conns[id] }
 
+// EachConn visits every live connection (conformance/diagnostics).
+// Iteration order is unspecified.
+func (e *Endpoint) EachConn(visit func(*Conn)) {
+	for _, c := range e.conns {
+		visit(c)
+	}
+}
+
 // Listen registers an accept callback for a local port. The callback
 // fires when a new passive connection reaches ESTABLISHED.
 func (e *Endpoint) Listen(port uint16, accept func(*Conn)) {
 	e.listeners[port] = accept
 }
 
+// ephemeralBase is the bottom of the ephemeral port range; allocation
+// wraps back here instead of running through the well-known ports.
+const ephemeralBase = 32768
+
 // Dial starts an active open and returns the new connection. The
 // three-way handshake proceeds in simulated time; OnEstablished fires on
-// completion.
+// completion. Returns nil when every ephemeral port toward this remote
+// endpoint is occupied by a live connection.
 func (e *Endpoint) Dial(remote wire.Addr, remotePort uint16) *Conn {
-	e.nextPort++
-	tuple := wire.FourTuple{
-		LocalAddr: e.Opt.IP, RemoteAddr: remote,
-		LocalPort: e.nextPort, RemotePort: remotePort,
+	for i := 0; i < 65536-ephemeralBase; i++ {
+		e.nextPort++
+		if e.nextPort < ephemeralBase { // wrapped through 0
+			e.nextPort = ephemeralBase
+		}
+		tuple := wire.FourTuple{
+			LocalAddr: e.Opt.IP, RemoteAddr: remote,
+			LocalPort: e.nextPort, RemotePort: remotePort,
+		}
+		if _, inUse := e.parser.Lookup(tuple); inUse {
+			continue
+		}
+		c := e.newConn(tuple)
+		ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, Ctl: flow.CtlOpen}
+		e.Inject(c, &ev)
+		return c
 	}
-	c := e.newConn(tuple)
-	ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, Ctl: flow.CtlOpen}
-	e.Inject(c, &ev)
-	return c
+	return nil
 }
 
 // newConn allocates connection state and registers the flow.
@@ -200,6 +223,9 @@ func (e *Endpoint) runProcess(c *Conn) {
 	}
 	for i := range e.actions.Notes {
 		e.applyNote(c, &e.actions.Notes[i])
+	}
+	if e.actions.OowRstDropped {
+		e.RxOowRsts++
 	}
 	e.timers.SyncFromTCB(c.TCB)
 	if e.actions.FreeFlow {
@@ -371,23 +397,11 @@ func (e *Endpoint) flushARPWait(ip wire.Addr) {
 	}
 }
 
-// sendRST answers an orphan segment with a reset.
+// sendRST answers an orphan segment with the RFC 793 §3.4 reset.
 func (e *Endpoint) sendRST(pkt *wire.Packet) {
-	seq := pkt.TCP.Ack
-	rst := &wire.Packet{
-		Kind: wire.KindTCP,
-		Eth:  wire.EthHeader{Src: e.Opt.MAC, Dst: pkt.Eth.Src, Type: wire.EtherTypeIPv4},
-		IP: wire.IPv4Header{
-			Src: e.Opt.IP, Dst: pkt.IP.Src,
-			TTL: wire.DefaultTTL, Protocol: wire.ProtoTCP,
-		},
-		TCP: wire.TCPHeader{
-			SrcPort: pkt.TCP.DstPort, DstPort: pkt.TCP.SrcPort,
-			Seq: seq, Ack: pkt.TCP.Seq.Add(seqnum.Size(pkt.PayloadLen)),
-			Flags: wire.FlagRST | wire.FlagACK,
-		},
+	if rst := datapath.OrphanRST(pkt, e.Opt.IP, e.Opt.MAC); rst != nil {
+		e.transmit(rst)
 	}
-	e.transmit(rst)
 }
 
 // ExpireTimers fires all due timer events. Call it periodically (the

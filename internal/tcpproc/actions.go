@@ -62,6 +62,10 @@ type Actions struct {
 	Segs     []SendOp
 	Notes    []Note
 	FreeFlow bool // the flow reached CLOSED and its state can be released
+	// OowRstDropped reports that an inbound RST failed sequence
+	// validation (RFC 793 §3.4 / RFC 5961) and was discarded instead of
+	// aborting the flow. Callers count it in telemetry.
+	OowRstDropped bool
 }
 
 // Reset clears the action lists without releasing capacity.
@@ -69,6 +73,7 @@ func (a *Actions) Reset() {
 	a.Segs = a.Segs[:0]
 	a.Notes = a.Notes[:0]
 	a.FreeFlow = false
+	a.OowRstDropped = false
 }
 
 func (a *Actions) note(k NoteKind, f flow.ID, s seqnum.Value) {

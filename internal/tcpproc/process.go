@@ -37,10 +37,18 @@ func (p *pass) run() {
 	t := p.t
 	in := &t.In
 
-	// 1. RST from the peer aborts everything immediately.
+	// 1. RST from the peer aborts the connection — but only after
+	// sequence validation (RFC 793 §3.4, RFC 5961 spirit): a reset whose
+	// sequence number is outside the receive window (or, in SYN-SENT,
+	// whose ACK does not cover our SYN) is a stale or forged reset and
+	// is dropped, leaving the rest of the pass to proceed.
 	if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxRST != 0 {
-		p.abort(NoteReset)
-		return
+		if p.rstAcceptable() {
+			p.abort(NoteReset)
+			return
+		}
+		in.RxFlags &^= flow.RxRST
+		p.out.OowRstDropped = true
 	}
 	// 2. Local abort request.
 	if in.Valid&flow.VCtl != 0 && in.Ctl&flow.CtlAbort != 0 {
@@ -68,6 +76,29 @@ func (p *pass) run() {
 	p.transmit()
 	p.flushAcks()
 	p.armTimers()
+}
+
+// rstAcceptable implements the RST sequence-validation rules: in
+// SYN-SENT the reset must acknowledge our SYN (RFC 793 p.67); in every
+// synchronized state its sequence number must fall inside the receive
+// window (with a zero window, it must equal RcvNxt exactly). LISTEN
+// ignores resets, and a flow that never left CLOSED has no sequence
+// space a reset could legitimately name.
+func (p *pass) rstAcceptable() bool {
+	t := p.t
+	in := &t.In
+	switch t.State {
+	case flow.StateClosed, flow.StateListen:
+		return false
+	case flow.StateSynSent:
+		return in.RstHasAck && in.RstAck == t.SndNxt
+	default:
+		wnd := seqnum.Size(t.AdvertisedWindow())
+		if wnd == 0 {
+			return in.RstSeq == t.RcvNxt
+		}
+		return in.RstSeq.InWindow(t.RcvNxt, wnd)
+	}
 }
 
 // connectionManagement handles open requests and the three-way handshake.
@@ -101,10 +132,19 @@ func (p *pass) connectionManagement() {
 			p.progressed = true
 		}
 	case flow.StateSynSent:
+		if in.Valid&flow.VAck != 0 && in.Ack != t.SndNxt {
+			// RFC 793 p.66: an unacceptable ACK in SYN-SENT draws
+			// <SEQ=SEG.ACK><CTL=RST> and the segment is discarded.
+			// Before this check a stray SYN-ACK was misread as a
+			// simultaneous open.
+			p.emit(SendOp{Seq: in.Ack, Flags: wire.FlagRST})
+			break
+		}
 		if in.Valid&flow.VRxFlags != 0 && in.RxFlags&flow.RxSYN != 0 {
 			p.acceptSyn(in.SynSeq)
-			if in.Valid&flow.VAck != 0 && in.Ack == t.SndNxt {
-				// SYN-ACK: established. The handshake RTT seeds the estimator.
+			if in.Valid&flow.VAck != 0 {
+				// SYN-ACK (the ACK is acceptable — checked above):
+				// established. The handshake RTT seeds the estimator.
 				t.SndUna = in.Ack
 				p.establish()
 				p.sendPureAck()
@@ -568,7 +608,7 @@ func (p *pass) enterTimeWait() {
 func (p *pass) becomeClosed() {
 	t := p.t
 	t.State = flow.StateClosed
-	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt = 0, 0, 0, 0
+	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt, t.KeepaliveAt = 0, 0, 0, 0, 0
 	if !t.ClosedSent {
 		t.ClosedSent = true
 		p.out.note(NoteClosed, t.FlowID, t.SndUna)
@@ -580,7 +620,7 @@ func (p *pass) becomeClosed() {
 func (p *pass) abort(kind NoteKind) {
 	t := p.t
 	t.State = flow.StateClosed
-	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt = 0, 0, 0, 0
+	t.RetransAt, t.ProbeAt, t.DelAckAt, t.TimeWaitAt, t.KeepaliveAt = 0, 0, 0, 0, 0
 	if kind == NoteReset {
 		p.out.note(NoteReset, t.FlowID, t.SndUna)
 	}

@@ -1,0 +1,139 @@
+package tcpproc
+
+import (
+	"testing"
+
+	"f4t/internal/flow"
+	"f4t/internal/wire"
+)
+
+// An RST whose sequence number falls outside the receive window must be
+// discarded (RFC 793 §3.4, hardened per RFC 5961): a blind attacker or a
+// stale segment from a prior incarnation must not tear the flow down.
+func TestOutOfWindowRSTIgnored(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstSeq: h.t.RcvNxt.Add(1 << 30),
+	})
+	if h.t.State != flow.StateEstablished {
+		t.Fatalf("out-of-window RST killed the flow: state=%v", h.t.State)
+	}
+	if !out.OowRstDropped {
+		t.Fatal("OowRstDropped not reported")
+	}
+	if out.FreeFlow || hasNote(out.Notes, NoteReset) != nil {
+		t.Fatalf("out-of-window RST produced teardown actions: %+v", out.Notes)
+	}
+}
+
+// An RST anywhere inside the receive window still aborts, even when it is
+// not exactly at RcvNxt (e.g. the peer reset mid-burst after loss).
+func TestInWindowRSTAborts(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	out := h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstSeq: h.t.RcvNxt.Add(1000),
+	})
+	if !out.FreeFlow || h.t.State != flow.StateClosed {
+		t.Fatalf("in-window RST did not abort: state=%v", h.t.State)
+	}
+	if hasNote(out.Notes, NoteReset) == nil {
+		t.Fatal("no reset notification")
+	}
+}
+
+// In SYN-SENT no data has been received, so an RST is validated by its
+// ACK field instead: it must acknowledge exactly our SYN (RFC 793 p.67).
+func TestSynSentRSTNeedsMatchingAck(t *testing.T) {
+	h := newHarness()
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlOpen})
+
+	// RST without an ACK: unverifiable, must be dropped.
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST, RstSeq: 4242})
+	if h.t.State != flow.StateSynSent || !out.OowRstDropped {
+		t.Fatalf("ackless RST in SYN-SENT: state=%v dropped=%v", h.t.State, out.OowRstDropped)
+	}
+
+	// RST acking the wrong sequence: forged or stale, must be dropped.
+	out = h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstHasAck: true, RstAck: h.t.SndNxt.Add(999),
+	})
+	if h.t.State != flow.StateSynSent || !out.OowRstDropped {
+		t.Fatalf("bad-ack RST in SYN-SENT: state=%v dropped=%v", h.t.State, out.OowRstDropped)
+	}
+
+	// RST acking our SYN exactly: genuine connection refusal.
+	out = h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstHasAck: true, RstAck: h.t.SndNxt,
+	})
+	if !out.FreeFlow || h.t.State != flow.StateClosed || hasNote(out.Notes, NoteReset) == nil {
+		t.Fatalf("valid RST in SYN-SENT not honored: state=%v", h.t.State)
+	}
+}
+
+// An ACK in SYN-SENT that does not cover our SYN draws <SEQ=SEG.ACK>
+// <CTL=RST> and the segment is otherwise ignored (RFC 793 p.66). The
+// buggy behaviour treated any SYN+ACK as a valid handshake reply.
+func TestSynSentBadAckDrawsRST(t *testing.T) {
+	h := newHarness()
+	h.feed(flow.Event{Kind: flow.EvUser, Flow: 1, Ctl: flow.CtlOpen})
+
+	badAck := h.t.SndNxt.Add(5000) // acks data we never sent
+	out := h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxSYN, SynSeq: 9000,
+		HasAck: true, Ack: badAck, HasWnd: true, Wnd: 65535,
+	})
+	rst := hasFlag(out.Segs, wire.FlagRST)
+	if rst == nil {
+		t.Fatalf("no RST for unacceptable ACK: %+v", out.Segs)
+	}
+	if rst.Seq != badAck {
+		t.Fatalf("RST seq = %d, want SEG.ACK = %d", rst.Seq, badAck)
+	}
+	if rst.Flags&wire.FlagACK != 0 {
+		t.Fatal("RST answering an ACK-bearing segment must not carry ACK")
+	}
+	if h.t.State != flow.StateSynSent {
+		t.Fatalf("bad ACK moved state to %v; must stay SYN-SENT", h.t.State)
+	}
+
+	// The connection is still viable: a correct SYN-ACK completes it.
+	out = h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxSYN, SynSeq: 7000,
+		HasAck: true, Ack: h.t.SndNxt, HasWnd: true, Wnd: 65535,
+	})
+	if h.t.State != flow.StateEstablished || hasNote(out.Notes, NoteEstablished) == nil {
+		t.Fatalf("recovery SYN-ACK: state=%v", h.t.State)
+	}
+}
+
+// A zero receive window degrades the in-window check to exact equality
+// with RcvNxt (the RFC 793 zero-window acceptance rule).
+func TestZeroWindowRSTExactMatch(t *testing.T) {
+	h := newHarness()
+	h.establish(t)
+	h.t.RcvBuf = 0 // advertise zero window
+
+	out := h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstSeq: h.t.RcvNxt.Add(1),
+	})
+	if h.t.State != flow.StateEstablished || !out.OowRstDropped {
+		t.Fatalf("zero-window off-by-one RST: state=%v", h.t.State)
+	}
+
+	out = h.feed(flow.Event{
+		Kind: flow.EvRx, Flow: 1,
+		RxFlags: flow.RxRST, RstSeq: h.t.RcvNxt,
+	})
+	if !out.FreeFlow || h.t.State != flow.StateClosed {
+		t.Fatalf("zero-window exact RST not honored: state=%v", h.t.State)
+	}
+}

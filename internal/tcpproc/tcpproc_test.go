@@ -333,7 +333,7 @@ func TestOutOfOrderFINWaitsForData(t *testing.T) {
 func TestRSTTearsDown(t *testing.T) {
 	h := newHarness()
 	h.establish(t)
-	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST})
+	out := h.feed(flow.Event{Kind: flow.EvRx, Flow: 1, RxFlags: flow.RxRST, RstSeq: h.t.RcvNxt})
 	if !out.FreeFlow || hasNote(out.Notes, NoteReset) == nil || h.t.State != flow.StateClosed {
 		t.Fatalf("RST handling: %+v", out.Notes)
 	}
