@@ -55,7 +55,14 @@ var order = []string{
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
+	workers := flag.Int("workers", 1, "distribute a sweep's independent rigs over N goroutines (fig9, fig13, fig16a); results are identical for any N")
 	flag.Parse()
+
+	if w := *workers; w > 1 {
+		runners["fig9"] = func(q bool) *exp.Table { return exp.Fig9Workers(q, w) }
+		runners["fig13"] = func(q bool) *exp.Table { return exp.Fig13Workers(q, w) }
+		runners["fig16a"] = func(q bool) *exp.Table { return exp.Fig16aWorkers(q, w) }
+	}
 
 	if *expFlag == "list" {
 		names := make([]string, 0, len(runners))

@@ -30,6 +30,7 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_kernel.json", "output path for -bench results")
 	quick := flag.Bool("quick", false, "shorter -bench measurement windows (CI smoke)")
 	guard := flag.Bool("guard", false, "with -bench: exit non-zero if the skip fast path regressed")
+	shards := flag.Int("shards", 4, "with -bench: sweep worker count for the sharded sweep benchmark (0 disables)")
 	trace := flag.String("trace", "", "run the standard echo rig with telemetry and write a Perfetto trace to this path")
 	traceCycles := flag.Int64("tracecycles", 400_000, "simulated cycles to trace after connection setup")
 	flag.Parse()
@@ -39,7 +40,7 @@ func main() {
 		return
 	}
 	if *bench {
-		runKernelBench(*quick, *guard, *benchOut)
+		runKernelBench(*quick, *guard, *shards, *benchOut)
 		return
 	}
 
@@ -89,8 +90,8 @@ func runTrace(out string, cycles int64) {
 // machine-independent floor (PR 1 recorded ~9.5x on the echo rig, so 2x
 // leaves generous noise headroom) — or if enabled telemetry more than
 // doubles the echo run.
-func runKernelBench(quick, guard bool, out string) {
-	res := exp.RunKernelBench(quick)
+func runKernelBench(quick, guard bool, shards int, out string) {
+	res := exp.RunKernelBench(quick, shards)
 	for _, e := range res.Entries {
 		fmt.Printf("%-22s %6.2f sim ms  skip %5.1f%%  %8.2f ms wall (was %8.2f ms)  %5.2fx\n",
 			e.Name, e.SimMS, e.SkippedPct,
@@ -100,6 +101,11 @@ func runKernelBench(quick, guard bool, out string) {
 		fmt.Printf("%-22s telemetry on: %8.2f ms wall (off %8.2f ms)  %+.1f%%  %d metrics, %d events\n",
 			t.Workload, float64(t.WallNSOn)/1e6, float64(t.WallNSOff)/1e6,
 			t.OverheadPct, t.Metrics, t.TraceEvents)
+	}
+	if s := res.Sharded; s != nil {
+		fmt.Printf("%-22s %d workers on %d CPUs: %8.2f ms wall (serial %8.2f ms)  %5.2fx  identical=%v\n",
+			s.Workload, s.Workers, s.HostCPUs,
+			float64(s.WallNSSharded)/1e6, float64(s.WallNSSerial)/1e6, s.Speedup, s.Identical)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -130,6 +136,29 @@ func runKernelBench(quick, guard bool, out string) {
 		if t := res.Telemetry; t != nil && t.OverheadPct > 100 {
 			fmt.Fprintf(os.Stderr, "guard: telemetry overhead %.1f%% > 100%%\n", t.OverheadPct)
 			failed = true
+		}
+		if s := res.Sharded; s != nil {
+			if !s.Identical {
+				fmt.Fprintf(os.Stderr, "guard: sharded sweep diverged from the serial sweep\n")
+				failed = true
+			}
+			// The speedup bound only applies where the host can deliver
+			// it: parallelism is capped by cores, GOMAXPROCS, workers and
+			// the number of independent rigs in the sweep.
+			par := s.HostCPUs
+			if s.GoMaxProcs < par {
+				par = s.GoMaxProcs
+			}
+			if s.Workers < par {
+				par = s.Workers
+			}
+			if s.Points < par {
+				par = s.Points
+			}
+			if par >= 3 && s.Speedup < 2.0 {
+				fmt.Fprintf(os.Stderr, "guard: sharded sweep speedup %.2fx < 2.0x on %d-way host\n", s.Speedup, par)
+				failed = true
+			}
 		}
 		if failed {
 			os.Exit(1)

@@ -1,0 +1,197 @@
+package cc
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"f4t/internal/flow"
+	"f4t/internal/seqnum"
+)
+
+var update = flag.Bool("update", false, "rewrite the cc golden trace files")
+
+// ccEvent is one step of a canned congestion episode. The scripts below
+// are fixed forever; the goldens pin the exact cwnd/ssthresh trajectory
+// each algorithm produces over them, so any change to the arithmetic —
+// intended or not — shows up as a golden diff.
+type ccEvent struct {
+	kind  string // ack, mack (ECE-covered ack), loss, rexit, timeout
+	acked uint32
+	rttNS int64
+}
+
+func acks(n int, acked uint32, rttNS int64) []ccEvent {
+	out := make([]ccEvent, n)
+	for i := range out {
+		out[i] = ccEvent{kind: "ack", acked: acked, rttNS: rttNS}
+	}
+	return out
+}
+
+func macks(n int, acked uint32, rttNS int64) []ccEvent {
+	out := acks(n, acked, rttNS)
+	for i := range out {
+		out[i].kind = "mack"
+	}
+	return out
+}
+
+func cat(seqs ...[]ccEvent) []ccEvent {
+	var out []ccEvent
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// runScript drives one algorithm instance over a canned event sequence,
+// maintaining the TCB fields the real tcpproc pipeline would (cumulative
+// ack advance, a constant 64-segment flight, the DCTCP byte counters)
+// and recording the window state after every event.
+func runScript(a Algorithm, events []ccEvent) []string {
+	const mss = 1460
+	const flight = 64 * mss
+	t := &flow.TCB{State: flow.StateEstablished, SndUna: 1000, SndNxt: 1000}
+	a.Init(t, mss)
+	t.SndNxt = t.SndUna.Add(seqnum.Size(flight))
+	lines := []string{fmt.Sprintf("%4s %-7s cwnd=%-8d ssthresh=%d", "init", "-", t.Cwnd, t.Ssthresh)}
+	now := int64(0)
+	for i, ev := range events {
+		now += 100_000 // 100 us between events
+		switch ev.kind {
+		case "ack", "mack":
+			t.SndUna = t.SndUna.Add(seqnum.Size(ev.acked))
+			t.SndNxt = t.SndUna.Add(seqnum.Size(flight))
+			t.AckedBytes += uint64(ev.acked)
+			if ev.kind == "mack" {
+				t.EceBytes += uint64(ev.acked)
+			}
+			a.OnAck(t, ev.acked, ev.rttNS, now, mss)
+		case "loss":
+			t.InRecovery = true
+			t.RecoverSeq = t.SndNxt
+			a.OnLoss(t, now, mss)
+		case "rexit":
+			a.OnRecoveryExit(t, mss)
+			t.InRecovery = false
+		case "timeout":
+			t.InRecovery = false
+			a.OnTimeout(t, now, mss)
+		default:
+			panic("golden: unknown event " + ev.kind)
+		}
+		lines = append(lines, fmt.Sprintf("%4d %-7s cwnd=%-8d ssthresh=%d", i, ev.kind, t.Cwnd, t.Ssthresh))
+	}
+	return lines
+}
+
+// goldenScripts are the canned episodes. Each exercises slow start, the
+// algorithm's characteristic decrease, its growth shape after loss, and
+// the RTO collapse; dctcp additionally sees two ECN-marked windows of
+// different mark density (the α EWMA path).
+var goldenScripts = map[string][]ccEvent{
+	"cubic": cat(
+		acks(40, 1460, 1_000_000), // slow start out of IW10
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(400, 1460, 1_000_000), // concave approach to wMax, then convex
+		[]ccEvent{{kind: "timeout"}},
+		acks(60, 1460, 1_000_000), // slow start again below new ssthresh
+	),
+	"dctcp": cat(
+		acks(80, 1460, 200_000),  // slow start, no marks
+		macks(32, 1460, 200_000), // a heavily marked window → α jumps, cwnd cut
+		acks(64, 1460, 200_000),
+		macks(8, 1460, 200_000), // a lightly marked window → smaller cut
+		acks(64, 1460, 200_000),
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}}, // real loss still halves
+		acks(40, 1460, 200_000),
+		[]ccEvent{{kind: "timeout"}},
+		acks(20, 1460, 200_000),
+	),
+}
+
+func TestGoldenTraces(t *testing.T) {
+	for name, script := range goldenScripts {
+		t.Run(name, func(t *testing.T) {
+			got := strings.Join(runScript(MustNew(name), script), "\n") + "\n"
+			path := filepath.Join("testdata", "golden_"+name+".txt")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+				for i := 0; i < len(gl) || i < len(wl); i++ {
+					g, w := "<eof>", "<eof>"
+					if i < len(gl) {
+						g = gl[i]
+					}
+					if i < len(wl) {
+						w = wl[i]
+					}
+					if g != w {
+						t.Fatalf("%s: first divergence at line %d:\n  got  %s\n  want %s\n(re-run with -update if the change is intended)", name, i, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTraceProperties sanity-checks the scripts themselves, so a
+// bad -update can't freeze a nonsensical trajectory: the marked dctcp
+// windows must actually cut the window, and cubic must pass back above
+// its pre-loss maximum during the long post-recovery ack run.
+func TestGoldenTraceProperties(t *testing.T) {
+	lines := runScript(MustNew("cubic"), goldenScripts["cubic"])
+	var preLoss, peak uint32
+	for _, l := range lines {
+		var cwnd, ss uint32
+		if n, _ := fmt.Sscanf(strings.Fields(l)[2]+" "+strings.Fields(l)[3], "cwnd=%d ssthresh=%d", &cwnd, &ss); n != 2 {
+			t.Fatalf("unparseable line %q", l)
+		}
+		if strings.Contains(l, "loss") && preLoss == 0 {
+			preLoss = cwnd
+		}
+		if cwnd > peak {
+			peak = cwnd
+		}
+	}
+	if peak <= preLoss {
+		t.Errorf("cubic script never exceeded its pre-loss window (%d <= %d)", peak, preLoss)
+	}
+
+	// Before the scripted loss event, dctcp's window can only shrink via
+	// the α-proportional cut at a marked window's boundary ack — so any
+	// decrease on the ack path proves the ECN machinery engaged.
+	lines = runScript(MustNew("dctcp"), goldenScripts["dctcp"])
+	cut := false
+	var prev uint32
+	for _, l := range lines {
+		if strings.Contains(l, "loss") {
+			break
+		}
+		var cwnd uint32
+		fmt.Sscanf(strings.Fields(l)[2], "cwnd=%d", &cwnd)
+		if prev > 0 && cwnd < prev {
+			cut = true
+		}
+		prev = cwnd
+	}
+	if !cut {
+		t.Error("dctcp script never produced an α-proportional cut on a marked window")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"f4t/internal/flow"
 	"f4t/internal/netsim"
+	"f4t/internal/sim"
 )
 
 // Config parameterizes one harness run. Identical configs produce
@@ -16,6 +17,12 @@ type Config struct {
 	Phases int
 	Conns  int // concurrent connections (dialed A→B)
 	Chunk  int // bytes per application write while pumping
+
+	// Shards > 1 runs the rig on a sharded kernel with the two endpoints
+	// on separate shards. Results are bit-identical to the serial run of
+	// the same config — the shard matrix test enforces it — so this knob
+	// trades nothing but wall-clock shape.
+	Shards int
 }
 
 // DefaultConfig is the CI smoke shape: long enough to hit every fault
@@ -94,9 +101,15 @@ func Run(cfg Config) Result {
 	if cfg.Chunk <= 0 {
 		cfg.Chunk = 4096
 	}
+	var fab sim.Fabric
+	if cfg.Shards > 1 {
+		fab = sim.NewSharded(cfg.Shards)
+	} else {
+		fab = sim.New()
+	}
 	h := &runner{
 		cfg:     cfg,
-		rig:     NewRig(cfg.Rig, cfg.Seed),
+		rig:     NewRigOn(fab, cfg.Rig, cfg.Seed),
 		sched:   NewSchedule(cfg.Seed, cfg.Phases),
 		pending: make(map[uint16]*testConn),
 	}
@@ -123,7 +136,7 @@ func Run(cfg Config) Result {
 		Drained:     drained,
 		ForgedRSTs:  h.rig.ForgedRSTs(),
 		OowRstDrops: h.rig.A.OowRstDrops() + h.rig.B.OowRstDrops(),
-		EndCycle:    h.rig.K.Now(),
+		EndCycle:    h.rig.R.Now(),
 		Sched:       h.sched,
 	}
 }
@@ -225,7 +238,7 @@ func (h *runner) violate(invariant string, tc *testConn, detail string) {
 	}
 	h.viol = append(h.viol, Violation{
 		Invariant: invariant, Endpoint: "harness",
-		Flow: 0, Cycle: h.rig.K.Now(),
+		Flow: 0, Cycle: h.rig.R.Now(),
 		Detail: fmt.Sprintf("conn %d: %s", tc.idx, detail),
 	})
 }
@@ -266,14 +279,14 @@ func (h *runner) advance(cycles int64, ph *Phase, pred func() bool) bool {
 	for i := int64(0); i < cycles; i += slice {
 		h.pump(ph)
 		if i/slice%sampleEvery == 0 {
-			now := h.rig.K.Now()
+			now := h.rig.R.Now()
 			h.rig.A.VisitTCBs(func(t *flow.TCB) { h.trA.observe(t, now) })
 			h.rig.B.VisitTCBs(func(t *flow.TCB) { h.trB.observe(t, now) })
 		}
 		if pred != nil && pred() {
 			return true
 		}
-		h.rig.K.Run(slice)
+		h.rig.R.Run(slice)
 	}
 	h.pump(ph)
 	return pred != nil && pred()
@@ -380,7 +393,7 @@ func (h *runner) finalChecks(drained bool) {
 		if len(h.viol) == 0 {
 			h.viol = append(h.viol, Violation{
 				Invariant: "liveness-drain-timeout", Endpoint: "harness",
-				Cycle: h.rig.K.Now(), Detail: "network failed to quiesce",
+				Cycle: h.rig.R.Now(), Detail: "network failed to quiesce",
 			})
 		}
 	}

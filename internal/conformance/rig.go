@@ -95,10 +95,19 @@ const rigPort = 80
 // pinch the window shut within a phase's worth of traffic.
 const rigRcvBuf = 64 * 1024
 
+// Islands of a rig on a sim.Fabric: endpoint A (dialer) and endpoint B
+// (listener). On a sharded fabric the two endpoints run on separate
+// goroutines with the link's latency as the synchronization lookahead.
+const (
+	islandA = 0
+	islandB = 1
+)
+
 // Rig is one two-endpoint test network: A dials, B listens.
 type Rig struct {
 	Kind RigKind
-	K    *sim.Kernel
+	R    sim.Runner  // fabric driving the rig (serial kernel or sharded)
+	K    *sim.Kernel // the serial kernel; nil when the rig runs sharded
 	Link *netsim.Link
 	A, B Endpoint
 
@@ -122,43 +131,61 @@ func (r *Rig) SetRSTEvery(n int64) {
 // ForgedRSTs returns the total resets forged so far, both directions.
 func (r *Rig) ForgedRSTs() int64 { return r.InjToB.forged + r.InjToA.forged }
 
-// NewRig builds the requested pairing on a 100 Gbps / 600 ns link. All
-// randomness (ISNs, link fault draws) derives from seed, so two rigs
-// with the same kind and seed evolve identically.
+// NewRig builds the requested pairing on a 100 Gbps / 600 ns link over
+// a fresh serial kernel. All randomness (ISNs, link fault draws)
+// derives from seed, so two rigs with the same kind and seed evolve
+// identically.
 func NewRig(kind RigKind, seed uint64) *Rig {
-	k := sim.New()
-	link := netsim.NewLink(k, 100, 600, seed*4+1)
+	return NewRigOn(sim.New(), kind, seed)
+}
+
+// NewRigOn builds the pairing on any fabric: endpoint A on islandA,
+// endpoint B on islandB. Construction and registration order is fixed,
+// so a sharded rig reproduces a serial rig's results bit for bit (the
+// shard matrix test in shard_test.go holds it to that).
+func NewRigOn(f sim.Fabric, kind RigKind, seed uint64) *Rig {
+	kA, kB := f.IslandKernel(islandA), f.IslandKernel(islandB)
+	link := netsim.NewLinkOn(f, islandA, islandB, 100, 600, seed*4+1)
 	ipA, ipB := wire.MakeAddr(10, 9, 0, 1), wire.MakeAddr(10, 9, 0, 2)
 	macA, macB := wire.MAC{2, 9, 0, 0, 0, 1}, wire.MAC{2, 9, 0, 0, 0, 2}
 
-	r := &Rig{Kind: kind, K: k, Link: link}
+	r := &Rig{Kind: kind, R: f, Link: link}
+	if k, ok := f.(*sim.Kernel); ok {
+		r.K = k
+	}
 	var deliverA, deliverB func(*wire.Packet)
+	var tickA, tickB sim.Ticker
 
 	switch kind {
 	case RigSoftSoft:
-		a := newStackEnd(k, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newStackEnd(k, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+		a := newStackEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
 		a.ep.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
+		tickA, tickB = a, b
 		r.A, r.B = a, b
 	case RigEngineSoft:
-		a := newEngineEnd(k, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newStackEnd(k, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
 		a.eng.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
+		tickA, tickB = a.eng, b
 		r.A, r.B = a, b
 	case RigEngineEngine:
-		a := newEngineEnd(k, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newEngineEnd(k, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
+		b := newEngineEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
 		a.eng.LearnPeer(ipB, macB)
 		b.eng.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
+		tickA, tickB = a.eng, b.eng
 		r.A, r.B = a, b
 	default:
 		panic("conformance: unknown rig kind")
 	}
+	f.RegisterOn(islandA, tickA)
+	f.RegisterOn(islandB, tickB)
 
 	r.InjToB = &rstInjector{next: deliverB}
 	r.InjToA = &rstInjector{next: deliverA}
@@ -171,8 +198,10 @@ func NewRig(kind RigKind, seed uint64) *Rig {
 
 type stackEnd struct {
 	name     string
+	k        *sim.Kernel
 	ep       *stack.Endpoint
 	peer     wire.Addr
+	rx       []*wire.Packet
 	accepted []Conn
 }
 
@@ -182,11 +211,29 @@ func newStackEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer wi
 	ep := stack.New(k, stack.Options{
 		IP: ip, MAC: mac, Cfg: cfg, Alg: "newreno", CarryBytes: true, Seed: seed,
 	}, tx)
-	k.Register(ep)
-	return &stackEnd{name: name, ep: ep, peer: peer}
+	// Registered by NewRigOn so slots are assigned in fabric order.
+	return &stackEnd{name: name, k: k, ep: ep, peer: peer}
 }
 
-func (s *stackEnd) deliver(p *wire.Packet) { s.ep.HandlePacket(p) }
+// deliver is the link sink. Packets queue and are processed on the
+// endpoint's own tick: a delivery callback may be a cross-shard
+// injection running under a foreign slot, which must not synchronously
+// schedule local timers (responses transmit from Tick instead).
+func (s *stackEnd) deliver(p *wire.Packet) {
+	s.rx = append(s.rx, p)
+	s.k.Wake(s)
+}
+
+// Tick drains queued RX packets (responses, if any, transmit here under
+// the endpoint's own slot) and then expires stack timers.
+func (s *stackEnd) Tick(cycle int64) {
+	for len(s.rx) > 0 {
+		p := s.rx[0]
+		s.rx = s.rx[1:]
+		s.ep.HandlePacket(p)
+	}
+	s.ep.Tick(cycle)
+}
 
 func (s *stackEnd) Name() string { return s.name }
 
@@ -245,7 +292,7 @@ func newEngineEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer w
 	cfg.CarryBytes = true
 	cfg.Proto.RcvBuf = rigRcvBuf
 	eng := engine.New(k, cfg, tx)
-	k.Register(eng)
+	// Registered by NewRigOn so slots are assigned in fabric order.
 	return &engineEnd{name: name, eng: eng, lib: softstack.NewLib(k, eng, 0), peer: peer}
 }
 

@@ -8,6 +8,7 @@ package exp
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"f4t/internal/cpu"
 	"f4t/internal/engine"
@@ -79,19 +80,39 @@ const LinkGbps = 100
 // LinkPropNS models the direct-connect cabling plus MAC latency.
 const LinkPropNS = 600
 
+// Islands of the two-node testbed on a sim.Fabric: everything on host A
+// (engine, machine, apps) is island A; host B likewise. The link between
+// them is the only cross-island channel, so its propagation delay is
+// the sharded fabric's lookahead.
+const (
+	IslandA = 0
+	IslandB = 1
+)
+
 // F4TPair is two F4T hosts (engine + library machine) over one link.
 type F4TPair struct {
-	K            *sim.Kernel
+	R            sim.Runner  // the fabric driving the rig (serial or sharded)
+	K            *sim.Kernel // the serial kernel, nil when R is sharded
+	KA, KB       *sim.Kernel // island clocks (both == K on a serial fabric)
 	Link         *netsim.Link
 	EngA, EngB   *engine.Engine
 	MachA, MachB *host.F4TMachine
 }
 
-// NewF4TPair builds the standard two-node F4T testbed. mutate adjusts
-// the shared engine configuration (applied to both sides).
+// NewF4TPair builds the standard two-node F4T testbed on a fresh serial
+// kernel. mutate adjusts the shared engine configuration (both sides).
 func NewF4TPair(coresA, coresB int, costs cpu.Costs, mutate func(*engine.Config)) *F4TPair {
-	k := sim.New()
-	link := netsim.NewLink(k, LinkGbps, LinkPropNS, 1234)
+	return NewF4TPairOn(sim.New(), coresA, coresB, costs, mutate)
+}
+
+// NewF4TPairOn builds the testbed on any fabric: host A on IslandA,
+// host B on IslandB, the link cross-posted between them. Construction
+// order (and therefore every registration slot and RNG draw) is
+// identical on every fabric, which is what makes a sharded run
+// bit-for-bit comparable to a serial one.
+func NewF4TPairOn(f sim.Fabric, coresA, coresB int, costs cpu.Costs, mutate func(*engine.Config)) *F4TPair {
+	kA, kB := f.IslandKernel(IslandA), f.IslandKernel(IslandB)
+	link := netsim.NewLinkOn(f, IslandA, IslandB, LinkGbps, LinkPropNS, 1234)
 
 	cfg := engine.DefaultConfig()
 	cfg.Channels = coresA
@@ -103,78 +124,135 @@ func NewF4TPair(coresA, coresB int, costs cpu.Costs, mutate func(*engine.Config)
 	cfgB := cfg
 	cfgB.IP, cfgB.MAC, cfgB.Seed, cfgB.Channels = AddrB, MACB, 202, coresB
 
-	engA := engine.New(k, cfgA, link.AtoB.Send)
-	engB := engine.New(k, cfgB, link.BtoA.Send)
+	engA := engine.New(kA, cfgA, link.AtoB.Send)
+	engB := engine.New(kB, cfgB, link.BtoA.Send)
 	link.AtoB.SetSink(engB.DeliverPacket)
 	link.BtoA.SetSink(engA.DeliverPacket)
 	engA.LearnPeer(AddrB, MACB)
 	engB.LearnPeer(AddrA, MACA)
 
-	machA := host.NewF4TMachine(k, engA, coresA, costs, []wire.Addr{AddrB})
-	machB := host.NewF4TMachine(k, engB, coresB, costs, []wire.Addr{AddrA})
+	machA := host.NewF4TMachine(kA, engA, coresA, costs, []wire.Addr{AddrB})
+	machB := host.NewF4TMachine(kB, engB, coresB, costs, []wire.Addr{AddrA})
 
 	// Direct registration (no TickerFunc wrapper) so the kernel sees the
 	// components' NextWork hints and can skip quiescent spans.
-	k.Register(engA)
-	k.Register(engB)
-	k.Register(machA)
-	k.Register(machB)
-	return &F4TPair{K: k, Link: link, EngA: engA, EngB: engB, MachA: machA, MachB: machB}
+	f.RegisterOn(IslandA, engA)
+	f.RegisterOn(IslandB, engB)
+	f.RegisterOn(IslandA, machA)
+	f.RegisterOn(IslandB, machB)
+	p := &F4TPair{R: f, KA: kA, KB: kB, Link: link, EngA: engA, EngB: engB, MachA: machA, MachB: machB}
+	if k, ok := f.(*sim.Kernel); ok {
+		p.K = k
+	}
+	return p
 }
 
 // LinuxPair is two Linux-stack hosts over one link.
 type LinuxPair struct {
-	K            *sim.Kernel
+	R            sim.Runner
+	K            *sim.Kernel // serial kernel, nil when R is sharded
+	KA, KB       *sim.Kernel
 	Link         *netsim.Link
 	MachA, MachB *host.LinuxMachine
 }
 
-// NewLinuxPair builds the baseline two-node testbed.
+// NewLinuxPair builds the baseline two-node testbed on a serial kernel.
 func NewLinuxPair(coresA, coresB int, costs cpu.Costs) *LinuxPair {
-	k := sim.New()
-	link := netsim.NewLink(k, LinkGbps, LinkPropNS, 5678)
+	return NewLinuxPairOn(sim.New(), coresA, coresB, costs)
+}
+
+// NewLinuxPairOn builds the baseline testbed on any fabric; see
+// NewF4TPairOn for the island layout and determinism contract.
+func NewLinuxPairOn(f sim.Fabric, coresA, coresB int, costs cpu.Costs) *LinuxPair {
+	kA, kB := f.IslandKernel(IslandA), f.IslandKernel(IslandB)
+	link := netsim.NewLinkOn(f, IslandA, IslandB, LinkGbps, LinkPropNS, 5678)
 
 	optA := stack.Options{IP: AddrA, MAC: MACA, Cfg: tcpproc.DefaultConfig(), Alg: "cubic", MaxFlows: 70000, Seed: 11}
 	optB := stack.Options{IP: AddrB, MAC: MACB, Cfg: tcpproc.DefaultConfig(), Alg: "cubic", MaxFlows: 70000, Seed: 22}
 
-	machA := host.NewLinuxMachine(k, optA, coresA, costs, []wire.Addr{AddrB}, link.AtoB.Send)
-	machB := host.NewLinuxMachine(k, optB, coresB, costs, []wire.Addr{AddrA}, link.BtoA.Send)
+	machA := host.NewLinuxMachine(kA, optA, coresA, costs, []wire.Addr{AddrB}, link.AtoB.Send)
+	machB := host.NewLinuxMachine(kB, optB, coresB, costs, []wire.Addr{AddrA}, link.BtoA.Send)
 	machA.Endpoint().LearnPeer(AddrB, MACB)
 	machB.Endpoint().LearnPeer(AddrA, MACA)
 	link.AtoB.SetSink(machB.DeliverPacket)
 	link.BtoA.SetSink(machA.DeliverPacket)
 
-	k.Register(machA)
-	k.Register(machB)
-	return &LinuxPair{K: k, Link: link, MachA: machA, MachB: machB}
+	f.RegisterOn(IslandA, machA)
+	f.RegisterOn(IslandB, machB)
+	p := &LinuxPair{R: f, KA: kA, KB: kB, Link: link, MachA: machA, MachB: machB}
+	if k, ok := f.(*sim.Kernel); ok {
+		p.K = k
+	}
+	return p
 }
 
 // RunUntilCoarse advances until the predicate holds, checking it at
 // most once per step cycles — for predicates that are themselves
-// O(flows) and must not run every cycle. It layers the rate limit onto
-// Kernel.RunUntil, so Stop() and cycle skipping are honored.
-func RunUntilCoarse(k *sim.Kernel, pred func() bool, step, budget int64) bool {
-	nextCheck := k.Now()
-	gated := func() bool {
-		if k.Now() < nextCheck {
+// O(flows) and must not run every cycle. The predicate is observed on
+// a fixed cycle grid (start, start+step, ...) regardless of execution
+// mode or cycle skipping, so serial, shadow (noskip), and sharded runs
+// of the same rig stop at the same cycle — the property the
+// differential battery depends on.
+func RunUntilCoarse(r sim.Runner, pred func() bool, step, budget int64) bool {
+	if step < 1 {
+		step = 1
+	}
+	end := r.Now() + budget
+	for {
+		if pred() {
+			return true
+		}
+		if r.Now() >= end {
 			return false
 		}
-		nextCheck = k.Now() + step
-		return pred()
+		n := step
+		if rem := end - r.Now(); n > rem {
+			n = rem
+		}
+		r.Run(n)
 	}
-	if k.RunUntil(gated, budget) {
-		return true
-	}
-	return pred()
 }
 
 // MeasureRate runs warmup cycles, snapshots the counter, runs measure
 // cycles, and returns the counter's steady-state events/second.
-func MeasureRate(k *sim.Kernel, c *sim.Counter, warmup, measure int64) float64 {
-	k.Run(warmup)
-	c.Snapshot(k.Now())
-	k.Run(measure)
-	return c.RatePerSecond(k.Now())
+func MeasureRate(r sim.Runner, c *sim.Counter, warmup, measure int64) float64 {
+	r.Run(warmup)
+	c.Snapshot(r.Now())
+	r.Run(measure)
+	return c.RatePerSecond(r.Now())
+}
+
+// Sweep runs n independent experiment points across at most workers
+// goroutines. Each point builds its own rig on its own kernel, so
+// points share no state and the sweep's results are identical to a
+// serial loop — only wall-clock time changes. Results must be slotted
+// by index inside point, never appended.
+func Sweep(n, workers int, point func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			point(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				point(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // Gbps converts a bytes/second rate to gigabits per second.

@@ -7,6 +7,7 @@ import (
 	"f4t/internal/cpu"
 	"f4t/internal/engine"
 	"f4t/internal/engine/memmgr"
+	"f4t/internal/host"
 	"f4t/internal/sim"
 )
 
@@ -19,6 +20,14 @@ func EchoPoint(stackKind string, totalFlows int) (mrps float64, establishedFrac 
 
 // EchoPointMut is EchoPoint with an engine-config mutation (ablations).
 func EchoPointMut(stackKind string, totalFlows int, mutate func(*engine.Config)) (mrps float64, establishedFrac float64) {
+	return EchoPointOn(sim.New(), stackKind, totalFlows, mutate)
+}
+
+// EchoPointOn runs the echo benchmark on any fabric: server on island
+// B, client on island A. On a serial kernel it is EchoPointMut; on a
+// ShardedKernel the two hosts run on separate goroutines and must
+// produce bit-identical numbers (the shard_diff battery checks this).
+func EchoPointOn(f sim.Fabric, stackKind string, totalFlows int, mutate func(*engine.Config)) (mrps float64, establishedFrac float64) {
 	costs := cpu.DefaultCosts()
 	const cores = 8
 	const port = 9001
@@ -27,50 +36,44 @@ func EchoPointMut(stackKind string, totalFlows int, mutate func(*engine.Config))
 		perThread = 1
 	}
 
-	var k *sim.Kernel
-	var client *apps.EchoClient
+	var threadsA, threadsB []host.Thread
 	switch stackKind {
 	case "linux":
-		p := NewLinuxPair(cores, cores, costs)
-		k = p.K
-		srv := apps.NewEchoServer(p.MachB.Threads(), port, 128)
-		k.Register(srv)
-		k.Run(2_000)
-		client = apps.NewEchoClient(k, p.MachA.Threads(), 0, port, 128, perThread)
-		k.Register(client)
+		p := NewLinuxPairOn(f, cores, cores, costs)
+		threadsA, threadsB = p.MachA.Threads(), p.MachB.Threads()
 	case "f4t-ddr", "f4t-hbm":
 		mem := memmgr.HBM
 		if stackKind == "f4t-ddr" {
 			mem = memmgr.DDR
 		}
-		p := NewF4TPair(cores, cores, costs, func(c *engine.Config) {
+		p := NewF4TPairOn(f, cores, cores, costs, func(c *engine.Config) {
 			c.Memory = mem
 			c.CarryBytes = false
 			if mutate != nil {
 				mutate(c)
 			}
 		})
-		k = p.K
-		srv := apps.NewEchoServer(p.MachB.Threads(), port, 128)
-		k.Register(srv)
-		k.Run(2_000)
-		client = apps.NewEchoClient(k, p.MachA.Threads(), 0, port, 128, perThread)
-		k.Register(client)
+		threadsA, threadsB = p.MachA.Threads(), p.MachB.Threads()
 	default:
 		panic("exp: unknown echo stack " + stackKind)
 	}
+	srv := apps.NewEchoServer(threadsB, port, 128)
+	f.RegisterOn(IslandB, srv)
+	f.Run(2_000)
+	client := apps.NewEchoClient(f.IslandKernel(IslandA), threadsA, 0, port, 128, perThread)
+	f.RegisterOn(IslandA, client)
 
 	// Ramp: allow generous time for tens of thousands of handshakes; the
 	// readiness check is O(flows), so probe it coarsely.
 	budget := int64(5_000_000) + int64(totalFlows)*400
-	RunUntilCoarse(k, client.Ready, 50_000, budget)
+	RunUntilCoarse(f, client.Ready, 50_000, budget)
 	want := perThread * cores
 	establishedFrac = float64(client.Established()) / float64(want)
 
-	k.Run(DefaultWarmup)
-	client.Requests.Snapshot(k.Now())
-	k.Run(DefaultMeasure * 2) // echo needs a longer window at low rates
-	return Mrps(client.Requests.RatePerSecond(k.Now())), establishedFrac
+	f.Run(DefaultWarmup)
+	client.Requests.Snapshot(f.Now())
+	f.Run(DefaultMeasure * 2) // echo needs a longer window at low rates
+	return Mrps(client.Requests.RatePerSecond(f.Now())), establishedFrac
 }
 
 // Fig13 reproduces Figure 13: echo request rate vs concurrent flows for
@@ -78,6 +81,14 @@ func EchoPointMut(stackKind string, totalFlows int, mutate func(*engine.Config))
 // 1,024 flows (the FPC-resident capacity) as every request forces a
 // DRAM TCB swap; HBM's bandwidth hides the swaps (§5.3).
 func Fig13(quick bool) *Table {
+	return Fig13Workers(quick, 1)
+}
+
+// Fig13Workers is Fig13 with the sweep's independent rigs distributed
+// across workers goroutines (cmd/f4tperf -shards). Each (flows, stack)
+// cell is one self-contained rig, so the table is identical to the
+// serial sweep's for any worker count.
+func Fig13Workers(quick bool, workers int) *Table {
 	t := &Table{
 		Title:  "Figure 13: 128 B echo request rate vs number of flows (Mrps)",
 		Header: []string{"flows", "linux", "f4t-ddr", "f4t-hbm"},
@@ -86,16 +97,19 @@ func Fig13(quick bool) *Table {
 	if quick {
 		flowSteps = []int{256, 4096, 16384}
 	}
-	for _, flows := range flowSteps {
-		row := []string{fmt.Sprintf("%d", flows)}
-		for _, stackKind := range []string{"linux", "f4t-ddr", "f4t-hbm"} {
-			mrps, frac := EchoPoint(stackKind, flows)
-			cell := f2(mrps)
-			if frac < 0.999 {
-				cell += fmt.Sprintf(" (%.0f%% est)", frac*100)
-			}
-			row = append(row, cell)
+	stacks := []string{"linux", "f4t-ddr", "f4t-hbm"}
+	cells := make([]string, len(flowSteps)*len(stacks))
+	Sweep(len(cells), workers, func(i int) {
+		flows, stackKind := flowSteps[i/len(stacks)], stacks[i%len(stacks)]
+		mrps, frac := EchoPoint(stackKind, flows)
+		cell := f2(mrps)
+		if frac < 0.999 {
+			cell += fmt.Sprintf(" (%.0f%% est)", frac*100)
 		}
+		cells[i] = cell
+	})
+	for r, flows := range flowSteps {
+		row := append([]string{fmt.Sprintf("%d", flows)}, cells[r*len(stacks):(r+1)*len(stacks)]...)
 		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,

@@ -79,6 +79,12 @@ func headerPointMut(cores int, cmdBytes int64, roundRobin bool, designMut func(*
 // 16 B and 8 B commands. With 16 B commands the PCIe command stream
 // saturates; 8 B commands lift the ceiling (§6).
 func Fig16a(quick bool) *Table {
+	return Fig16aWorkers(quick, 1)
+}
+
+// Fig16aWorkers is Fig16a with the sweep's independent rigs distributed
+// across workers goroutines; the table is identical for any count.
+func Fig16aWorkers(quick bool, workers int) *Table {
 	t := &Table{
 		Title:  "Figure 16a: header processing rate vs cores (bulk, Mrps)",
 		Header: []string{"cores", "16B cmds", "8B cmds"},
@@ -87,10 +93,13 @@ func Fig16a(quick bool) *Table {
 	if quick {
 		coreSteps = []int{2, 8}
 	}
-	for _, cores := range coreSteps {
-		r16 := headerPoint(cores, hostif.CommandBytes16, false, "f4t")
-		r8 := headerPoint(cores, hostif.CommandBytes8, false, "f4t")
-		t.AddRow(fmt.Sprintf("%d", cores), f1(Mrps(r16)), f1(Mrps(r8)))
+	cmds := []int64{hostif.CommandBytes16, hostif.CommandBytes8}
+	rates := make([]float64, len(coreSteps)*len(cmds))
+	Sweep(len(rates), workers, func(i int) {
+		rates[i] = headerPoint(coreSteps[i/len(cmds)], cmds[i%len(cmds)], false, "f4t")
+	})
+	for r, cores := range coreSteps {
+		t.AddRow(fmt.Sprintf("%d", cores), f1(Mrps(rates[r*2])), f1(Mrps(rates[r*2+1])))
 	}
 	t.Notes = append(t.Notes,
 		"paper: 16 B commands saturate PCIe; 8 B commands scale linearly to ~900 Mrps")

@@ -21,21 +21,25 @@ type TransferResult struct {
 // request size, sender cores. The receiver always runs 8 cores (the
 // paper's server configuration).
 func TransferPoint(stackKind string, roundRobin bool, reqSize, cores int, mutate func(*engine.Config)) TransferResult {
+	return TransferPointOn(sim.New(), stackKind, roundRobin, reqSize, cores, mutate)
+}
+
+// TransferPointOn is TransferPoint on any fabric: sender on island A,
+// receiver on island B. Sharded runs must reproduce the serial numbers
+// bit for bit (shard_diff battery).
+func TransferPointOn(f sim.Fabric, stackKind string, roundRobin bool, reqSize, cores int, mutate func(*engine.Config)) TransferResult {
 	costs := cpu.DefaultCosts()
 	const rxCores = 8
 	const port = 5001
 
-	var k *sim.Kernel
 	var sendThreads, recvThreads []host.Thread
 	switch stackKind {
 	case "linux":
-		p := NewLinuxPair(cores, rxCores, costs)
-		k = p.K
+		p := NewLinuxPairOn(f, cores, rxCores, costs)
 		sendThreads = p.MachA.Threads()
 		recvThreads = p.MachB.Threads()
 	case "f4t":
-		p := NewF4TPair(cores, rxCores, costs, mutate)
-		k = p.K
+		p := NewF4TPairOn(f, cores, rxCores, costs, mutate)
 		sendThreads = p.MachA.Threads()
 		recvThreads = p.MachB.Threads()
 	default:
@@ -43,36 +47,36 @@ func TransferPoint(stackKind string, roundRobin bool, reqSize, cores int, mutate
 	}
 
 	sink := apps.NewSink(recvThreads, port)
-	k.Register(sink)
+	f.RegisterOn(IslandB, sink)
 	// Let the listeners register before dialing.
-	k.Run(2_000)
+	f.Run(2_000)
 
 	var requests *sim.Counter
 	var ready func() bool
 	if roundRobin {
 		rr := apps.NewRoundRobinSender(sendThreads, 0, port, reqSize, 16)
-		k.Register(rr)
+		f.RegisterOn(IslandA, rr)
 		requests = &rr.Requests
 		ready = rr.Ready
 	} else {
 		b := apps.NewBulkSender(sendThreads, 0, port, reqSize)
-		k.Register(b)
+		f.RegisterOn(IslandA, b)
 		requests = &b.Requests
 		ready = b.Ready
 	}
 
-	if !k.RunUntil(ready, 20_000_000) {
+	if !RunUntilCoarse(f, ready, 10_000, 20_000_000) {
 		// Some flows failed to establish in time; measure anyway — the
 		// result will reflect the degradation, as a real benchmark would.
 	}
-	k.Run(DefaultWarmup)
-	sink.Delivered.Snapshot(k.Now())
-	requests.Snapshot(k.Now())
-	k.Run(DefaultMeasure)
+	f.Run(DefaultWarmup)
+	sink.Delivered.Snapshot(f.Now())
+	requests.Snapshot(f.Now())
+	f.Run(DefaultMeasure)
 
 	return TransferResult{
-		GoodputGbps: Gbps(sink.Delivered.RatePerSecond(k.Now())),
-		Mrps:        Mrps(requests.RatePerSecond(k.Now())),
+		GoodputGbps: Gbps(sink.Delivered.RatePerSecond(f.Now())),
+		Mrps:        Mrps(requests.RatePerSecond(f.Now())),
 	}
 }
 

@@ -7,6 +7,12 @@ import "fmt"
 // PCIe-bound (every 16 B request needs a 16 B command plus a 16 B
 // payload DMA, §5.1).
 func Fig9(quick bool) *Table {
+	return Fig9Workers(quick, 1)
+}
+
+// Fig9Workers is Fig9 with the sweep's independent rigs distributed
+// across workers goroutines; the table is identical for any count.
+func Fig9Workers(quick bool, workers int) *Table {
 	t := &Table{
 		Title:  "Figure 9: F4T bulk transfer with various request sizes",
 		Header: []string{"req B", "cores", "Gbps", "Mrps"},
@@ -17,11 +23,14 @@ func Fig9(quick bool) *Table {
 		sizes = []int{16, 128, 1024}
 		coreSteps = []int{8}
 	}
-	for _, size := range sizes {
-		for _, cores := range coreSteps {
-			res := TransferPoint("f4t", false, size, cores, nil)
-			t.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%d", cores), f1(res.GoodputGbps), f1(res.Mrps))
-		}
+	results := make([]TransferResult, len(sizes)*len(coreSteps))
+	Sweep(len(results), workers, func(i int) {
+		size, cores := sizes[i/len(coreSteps)], coreSteps[i%len(coreSteps)]
+		results[i] = TransferPoint("f4t", false, size, cores, nil)
+	})
+	for i, res := range results {
+		size, cores := sizes[i/len(coreSteps)], coreSteps[i%len(coreSteps)]
+		t.AddRow(fmt.Sprintf("%d", size), fmt.Sprintf("%d", cores), f1(res.GoodputGbps), f1(res.Mrps))
 	}
 	t.Notes = append(t.Notes,
 		"paper: 16 B requests with 16 cores reach 50.7 Gbps / 396 Mrps, bounded by PCIe bandwidth",

@@ -1,6 +1,9 @@
 package exp
 
 import (
+	"fmt"
+	"math"
+	"runtime"
 	"time"
 
 	"f4t/internal/apps"
@@ -45,6 +48,26 @@ type KernelBench struct {
 	Quick     bool               `json:"quick"`
 	Entries   []KernelBenchEntry `json:"entries"`
 	Telemetry *TelemetryOverhead `json:"telemetry,omitempty"`
+	Sharded   *ShardedSweepBench `json:"sharded,omitempty"`
+}
+
+// ShardedSweepBench times the Figure 13 echo row — one independent rig
+// per stack kind — executed serially and distributed across the sweep
+// worker pool (cmd/f4tperf -shards), and checks the two runs produce
+// bit-identical tables. HostCPUs and GoMaxProcs are recorded because
+// the speedup is bounded by them: on a single-core host the sharded
+// run can only tie the serial one, and the numbers say so honestly.
+type ShardedSweepBench struct {
+	Workload      string  `json:"workload"`
+	Flows         int     `json:"flows"`
+	Points        int     `json:"points"`
+	Workers       int     `json:"workers"`
+	HostCPUs      int     `json:"host_cpus"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	WallNSSerial  int64   `json:"wall_ns_serial"`
+	WallNSSharded int64   `json:"wall_ns_sharded"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
 }
 
 // TelemetryOverhead compares the echo workload with telemetry fully
@@ -153,9 +176,57 @@ func benchEchoTelemetry(measure int64) (benchSample, int, int64) {
 	return s, tel.Reg.Len(), tel.Trace.Total()
 }
 
+// RunShardedSweepBench measures the sweep-level parallelism layer: the
+// Figure 13 echo row at the given flow count, once with the serial
+// sweep loop and once distributed over workers goroutines. Each cell is
+// a self-contained rig on its own kernel, so the distributed table must
+// be bit-identical to the serial one (Identical reports the check).
+func RunShardedSweepBench(quick bool, workers int) *ShardedSweepBench {
+	flows := 65536
+	if quick {
+		flows = 1024
+	}
+	stacks := []string{"linux", "f4t-ddr", "f4t-hbm"}
+	row := func(w int) ([]uint64, int64) {
+		bits := make([]uint64, 2*len(stacks))
+		t0 := time.Now()
+		Sweep(len(stacks), w, func(i int) {
+			mrps, frac := EchoPoint(stacks[i], flows)
+			bits[2*i] = math.Float64bits(mrps)
+			bits[2*i+1] = math.Float64bits(frac)
+		})
+		return bits, time.Since(t0).Nanoseconds()
+	}
+	serialBits, serialNS := row(1)
+	shardedBits, shardedNS := row(workers)
+
+	out := &ShardedSweepBench{
+		Workload:      fmt.Sprintf("fig13-echo-row-%dflows", flows),
+		Flows:         flows,
+		Points:        len(stacks),
+		Workers:       workers,
+		HostCPUs:      runtime.NumCPU(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		WallNSSerial:  serialNS,
+		WallNSSharded: shardedNS,
+		Identical:     true,
+	}
+	for i := range serialBits {
+		if serialBits[i] != shardedBits[i] {
+			out.Identical = false
+		}
+	}
+	if shardedNS > 0 {
+		out.Speedup = float64(serialNS) / float64(shardedNS)
+	}
+	return out
+}
+
 // RunKernelBench runs every workload in both kernel modes and returns
-// the comparison. quick shortens the windows for CI smoke runs.
-func RunKernelBench(quick bool) *KernelBench {
+// the comparison. quick shortens the windows for CI smoke runs. shards
+// > 0 additionally runs the sharded sweep benchmark with that many
+// workers.
+func RunKernelBench(quick bool, shards int) *KernelBench {
 	measure := int64(2_000_000) // 8 ms simulated
 	if quick {
 		measure = 250_000
@@ -168,7 +239,7 @@ func RunKernelBench(quick bool) *KernelBench {
 		{"wrk-latency-fig12", benchWrkLatency},
 		{"bulk-saturated-fig8a", benchBulk},
 	}
-	out := &KernelBench{Schema: "f4t-kernel-bench/2", Quick: quick}
+	out := &KernelBench{Schema: "f4t-kernel-bench/3", Quick: quick}
 	for _, w := range workloads {
 		s := w.run(true, measure)
 		n := w.run(false, measure)
@@ -211,5 +282,9 @@ func RunKernelBench(quick bool) *KernelBench {
 		tl.OverheadPct = 100 * (float64(on.wallNS) - float64(off.wallNS)) / float64(off.wallNS)
 	}
 	out.Telemetry = tl
+
+	if shards > 0 {
+		out.Sharded = RunShardedSweepBench(quick, shards)
+	}
 	return out
 }

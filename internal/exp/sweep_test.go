@@ -1,0 +1,25 @@
+package exp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepCoversEveryIndexOnce checks the sweep worker pool's only
+// contract: every index in [0, n) runs exactly once, for any worker
+// count (including degenerate ones). Cell placement is by index, so
+// this is what makes Fig9Workers/Fig13Workers/Fig16aWorkers tables
+// identical to their serial counterparts.
+func TestSweepCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 100} {
+		const n = 37
+		var counts [n]int32
+		Sweep(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i := range counts {
+			if counts[i] != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, counts[i])
+			}
+		}
+	}
+	Sweep(0, 4, func(i int) { t.Errorf("point called for n=0: index %d", i) })
+}

@@ -37,6 +37,7 @@ type Faults struct {
 // Pipe is one direction of a link.
 type Pipe struct {
 	k       *sim.Kernel
+	post    sim.PostAt // delivery scheduler: k.At, or a cross-shard mailbox
 	rate    *sim.ByteRate
 	prop    int64 // propagation delay in cycles
 	deliver func(*wire.Packet)
@@ -59,14 +60,23 @@ type Pipe struct {
 // NewPipe builds a unidirectional pipe of the given bandwidth and
 // propagation delay, delivering packets to the given sink.
 func NewPipe(k *sim.Kernel, gbps int64, propNS int64, seed uint64, deliver func(*wire.Packet)) *Pipe {
-	return &Pipe{
+	p := &Pipe{
 		k:       k,
 		rate:    sim.GbpsRate(gbps),
 		prop:    sim.NSToCycles(propNS),
 		deliver: deliver,
 		rng:     sim.NewRand(seed),
 	}
+	p.post = k.At
+	return p
 }
+
+// MinLatencyCycles returns the smallest possible cycle delta between a
+// Send and its delivery on a link with the given propagation delay: the
+// propagation time plus at least one serialization cycle. This is the
+// conservative lookahead a sharded fabric derives its synchronization
+// window from.
+func MinLatencyCycles(propNS int64) int64 { return sim.NSToCycles(propNS) + 1 }
 
 // SetFaults installs a fault-injection profile.
 func (p *Pipe) SetFaults(f Faults) { p.faults = f }
@@ -140,7 +150,7 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		p.traceSend(p.k.Now(), at, wireLen)
 	}
 	target := pkt
-	p.k.At(at, func() { p.deliver(target) })
+	p.post(at, func() { p.deliver(target) })
 
 	if f.DupProb > 0 && p.rng.Bool(f.DupProb) {
 		p.DupPkts++
@@ -148,7 +158,7 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 			p.traceFault("pkt.dup")
 		}
 		dup := *pkt
-		p.k.At(at+1, func() { p.deliver(&dup) })
+		p.post(at+1, func() { p.deliver(&dup) })
 	}
 }
 
@@ -173,4 +183,20 @@ func NewLink(k *sim.Kernel, gbps int64, propNS int64, seed uint64) *Link {
 		AtoB: NewPipe(k, gbps, propNS, seed*2+1, nil),
 		BtoA: NewPipe(k, gbps, propNS, seed*2+2, nil),
 	}
+}
+
+// NewLinkOn builds a duplex link between two islands of a Fabric. Each
+// pipe's clock (serialization, backlog, fault draws) is its sending
+// island's kernel, and deliveries are scheduled through the fabric —
+// a plain timer when both islands share a kernel, a deterministic
+// cross-shard mailbox otherwise. The link declares its minimum
+// sender-to-receiver latency to the fabric, which bounds the sharded
+// scheduler's synchronization window.
+func NewLinkOn(f sim.Fabric, islandA, islandB int, gbps int64, propNS int64, seed uint64) *Link {
+	minLat := MinLatencyCycles(propNS)
+	ab := NewPipe(f.IslandKernel(islandA), gbps, propNS, seed*2+1, nil)
+	ab.post = f.CrossPost(islandA, islandB, minLat)
+	ba := NewPipe(f.IslandKernel(islandB), gbps, propNS, seed*2+2, nil)
+	ba.post = f.CrossPost(islandB, islandA, minLat)
+	return &Link{AtoB: ab, BtoA: ba}
 }

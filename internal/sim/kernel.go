@@ -44,22 +44,87 @@ type Sleeper interface {
 	NextWork(now int64) int64
 }
 
-// timerEvent is a scheduled callback ordered by cycle then sequence.
+// Runner is the surface shared by the serial Kernel and the
+// ShardedKernel: everything a workload driver needs to advance
+// simulated time. Rig harnesses written against Runner run unchanged on
+// either execution mode.
+type Runner interface {
+	Now() int64
+	NowNS() int64
+	Run(n int64)
+	RunUntil(pred func() bool, budget int64) bool
+	Stop()
+}
+
+// PostAt schedules fn at an absolute cycle. It is the type of Kernel.At
+// and of the cross-shard posting funcs a Fabric hands out.
+type PostAt func(cycle int64, fn func())
+
+// Fabric abstracts where a rig's components live: on a single serial
+// Kernel (every island shares it) or spread across the shards of a
+// ShardedKernel. Rig builders target Fabric so one construction path
+// yields both execution modes with identical registration order — the
+// property the bit-for-bit differential battery depends on.
+//
+// An island is a group of components that share state directly (an
+// engine plus its host machine and apps). Cross-island interactions
+// must go through the PostAt returned by CrossPost, which carries the
+// link's minimum latency so the sharded scheduler can derive its
+// conservative lookahead.
+type Fabric interface {
+	Runner
+	// IslandKernel returns the kernel that drives the island's clock:
+	// the Kernel itself on a serial fabric, the owning shard otherwise.
+	IslandKernel(island int) *Kernel
+	// RegisterOn registers t on the island's kernel. Components must be
+	// registered in the same global order on every fabric; the slot
+	// numbers this assigns are the deterministic tie-break for timers.
+	RegisterOn(island int, t Ticker)
+	// CrossPost returns the scheduler for deliveries from src to dst.
+	// minLatency is the smallest possible cycle delta between posting
+	// and the posted cycle; it lower-bounds the fabric's lookahead.
+	CrossPost(src, dst int, minLatency int64) PostAt
+}
+
+// timerEvent is a scheduled callback ordered by a structured key that
+// is identical whether the rig runs on one kernel or across shards:
+//
+//	(cycle, icycle, slot, sub)
+//
+// cycle is the fire cycle. The remaining fields identify the insertion
+// deterministically: icycle is the cycle the event was scheduled on,
+// slot is the global registration slot of the component whose code
+// scheduled it (-1 for code running outside any component, e.g. test
+// setup), and sub is that context's monotonically increasing insertion
+// counter. Because no field depends on goroutine interleaving — only on
+// the inserting component's own deterministic execution — merging
+// cross-shard events into a shard's heap reproduces exactly the firing
+// order a single serial kernel would have used.
 type timerEvent struct {
-	cycle int64
-	seq   int64 // insertion order breaks ties deterministically
-	fn    func()
+	cycle  int64 // fire cycle
+	icycle int64 // insertion cycle
+	slot   int32 // inserting context's global slot (-1 = external)
+	sub    int64 // per-context insertion counter
+	fn     func()
+}
+
+func keyLess(a, b *timerEvent) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	if a.icycle != b.icycle {
+		return a.icycle < b.icycle
+	}
+	if a.slot != b.slot {
+		return a.slot < b.slot
+	}
+	return a.sub < b.sub
 }
 
 type timerHeap []timerEvent
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
-}
+func (h timerHeap) Len() int            { return len(h) }
+func (h timerHeap) Less(i, j int) bool  { return keyLess(&h[i], &h[j]) }
 func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
 func (h *timerHeap) Pop() interface{} {
@@ -75,17 +140,29 @@ type tickerEntry struct {
 	t      Ticker
 	s      Sleeper // nil for opaque (non-Sleeper) tickers
 	wakeAt int64   // earliest explicit Wake hint; Dormant = none
+	slot   int32   // global registration slot (ties across shards)
+	sub    int64   // timer-insertion counter for this component's code
 }
 
 // Kernel is the simulation driver. The zero value is not usable; call New.
 type Kernel struct {
-	cycle   int64
-	tickers []tickerEntry
-	index   map[Ticker]int // identity → slot, comparable tickers only
-	opaque  int            // registered tickers without NextWork
-	timers  timerHeap
-	seq     int64
-	stopped bool
+	cycle     int64
+	tickers   []tickerEntry
+	index     map[Ticker]int // identity → slot index, comparable tickers only
+	slotIndex map[int32]int  // global slot → tickers index
+	opaque    int            // registered tickers without NextWork
+	timers    timerHeap
+	nextSlot  int32
+	extSub    int64 // insertion counter for code outside any component
+	stopped   bool
+
+	// Current insertion context: which component's code is running.
+	// curSub is nil while executing a timer posted by a component on
+	// another shard — such callbacks must not schedule local timers
+	// (they would need that foreign component's counter, which lives on
+	// its own shard); they post through their Mailbox instead.
+	curSlot int32
+	curSub  *int64
 
 	noskip  bool  // shadow mode: historical always-step loop
 	anyWake int64 // wake floor for tickers the index cannot address
@@ -96,7 +173,9 @@ type Kernel struct {
 // New returns an empty kernel positioned at cycle 0 with quiescence
 // skipping enabled.
 func New() *Kernel {
-	return &Kernel{anyWake: Dormant}
+	k := &Kernel{anyWake: Dormant, curSlot: -1}
+	k.curSub = &k.extSub
+	return k
 }
 
 // NewShadow returns a kernel running the historical always-step loop —
@@ -132,13 +211,33 @@ func (k *Kernel) NowNS() int64 { return k.cycle * CycleNS }
 // Sleeper participates in quiescence skipping; any other ticker pins
 // the kernel to per-cycle stepping.
 func (k *Kernel) Register(t Ticker) {
-	e := tickerEntry{t: t, wakeAt: Dormant}
+	k.RegisterSlot(t, k.nextSlot)
+}
+
+// RegisterSlot is Register with an explicit global slot number — the
+// deterministic identity used to order this component's timers against
+// everyone else's. The ShardedKernel assigns slots from a fabric-wide
+// counter so a component keeps the same slot whether its rig runs
+// serially or sharded. Slots must be registered in increasing order on
+// any one kernel (tick order within a cycle is slot order).
+func (k *Kernel) RegisterSlot(t Ticker, slot int32) {
+	if n := len(k.tickers); n > 0 && k.tickers[n-1].slot >= slot {
+		panic(fmt.Sprintf("sim: slot %d registered after slot %d; slots must be increasing", slot, k.tickers[n-1].slot))
+	}
+	e := tickerEntry{t: t, wakeAt: Dormant, slot: slot}
 	if s, ok := t.(Sleeper); ok {
 		e.s = s
 	} else {
 		k.opaque++
 	}
 	k.tickers = append(k.tickers, e)
+	if k.slotIndex == nil {
+		k.slotIndex = make(map[int32]int)
+	}
+	k.slotIndex[slot] = len(k.tickers) - 1
+	if slot >= k.nextSlot {
+		k.nextSlot = slot + 1
+	}
 	// Identity-addressable tickers get a Wake slot. Func-typed tickers
 	// (TickerFunc) are not comparable and would panic as map keys; Wake
 	// falls back to the global floor for them.
@@ -178,13 +277,23 @@ func (k *Kernel) WakeAt(t Ticker, cycle int64) {
 
 // At schedules fn to run at the start of the given absolute cycle,
 // before components tick. Scheduling in the past (or present) runs the
-// callback on the next Step.
+// callback on the next Step. Same-cycle events fire in a deterministic
+// order: by insertion cycle, then by the inserting component's slot,
+// then by insertion order within that component.
 func (k *Kernel) At(cycle int64, fn func()) {
+	heap.Push(&k.timers, k.event(cycle, fn))
+}
+
+// event stamps a timer with the current insertion context's key.
+func (k *Kernel) event(cycle int64, fn func()) timerEvent {
 	if cycle <= k.cycle {
 		cycle = k.cycle + 1
 	}
-	k.seq++
-	heap.Push(&k.timers, timerEvent{cycle: cycle, seq: k.seq, fn: fn})
+	if k.curSub == nil {
+		panic("sim: scheduling a local timer from a cross-shard delivery; post through the Mailbox instead")
+	}
+	*k.curSub++
+	return timerEvent{cycle: cycle, icycle: k.cycle, slot: k.curSlot, sub: *k.curSub, fn: fn}
 }
 
 // After schedules fn to run delta cycles from now (minimum 1).
@@ -193,6 +302,12 @@ func (k *Kernel) After(delta int64, fn func()) {
 		delta = 1
 	}
 	k.At(k.cycle+delta, fn)
+}
+
+// inject merges an externally built event (a cross-shard delivery) into
+// the timer heap. Only the ShardedKernel calls this, at barriers.
+func (k *Kernel) inject(ev timerEvent) {
+	heap.Push(&k.timers, ev)
 }
 
 // Stop requests that Run return at the end of the current cycle.
@@ -205,6 +320,18 @@ func (k *Kernel) Step() {
 	k.cycle++
 	for len(k.timers) > 0 && k.timers[0].cycle <= k.cycle {
 		ev := heap.Pop(&k.timers).(timerEvent)
+		// Timer callbacks inherit the scheduling component's identity,
+		// so chains like "engine tick → At(txDone) → pipe.Send → At(
+		// delivery)" stay ordered by the originating slot. A foreign
+		// slot (cross-shard delivery) has no local counter; its
+		// callback may not schedule local timers.
+		if idx, ok := k.slotIndex[ev.slot]; ok {
+			k.curSlot, k.curSub = ev.slot, &k.tickers[idx].sub
+		} else if ev.slot < 0 {
+			k.curSlot, k.curSub = -1, &k.extSub
+		} else {
+			k.curSlot, k.curSub = ev.slot, nil
+		}
 		ev.fn()
 	}
 	for i := range k.tickers {
@@ -212,8 +339,10 @@ func (k *Kernel) Step() {
 		if e.wakeAt <= k.cycle {
 			e.wakeAt = Dormant
 		}
+		k.curSlot, k.curSub = e.slot, &e.sub
 		e.t.Tick(k.cycle)
 	}
+	k.curSlot, k.curSub = -1, &k.extSub
 	if k.anyWake <= k.cycle {
 		k.anyWake = Dormant
 	}
@@ -248,7 +377,7 @@ func (k *Kernel) nextEventCycle() int64 {
 
 // advanceTo fast-forwards the clock so the next Step lands on the
 // earliest cycle with potential work, never beyond limit. With any
-// opaque ticker registered (or none at all) it is a no-op.
+// opaque ticker registered it is a no-op.
 func (k *Kernel) advanceTo(limit int64) {
 	if k.noskip || k.opaque > 0 || len(k.tickers) == 0 {
 		return
@@ -275,16 +404,34 @@ func (k *Kernel) Run(n int64) {
 	}
 }
 
+// observable returns the next cycle <= limit at which RunUntil must
+// evaluate its predicate: the next cycle where simulation activity can
+// occur, or the limit. With opaque tickers registered every cycle is
+// observable.
+func (k *Kernel) observable(limit int64) int64 {
+	if k.opaque > 0 || len(k.tickers) == 0 {
+		return k.cycle + 1
+	}
+	next := k.nextEventCycle()
+	if next > limit {
+		next = limit
+	}
+	return next
+}
+
 // RunUntil advances the simulation until the predicate returns true or
 // the cycle budget is exhausted, honoring Stop like Run does. It
 // reports whether the predicate fired.
 //
-// With skipping enabled the predicate is evaluated at every cycle where
-// simulation activity can occur (and at the budget boundary). Since no
-// component state changes inside a skipped span, predicates over
-// simulation state observe every transition they could under per-cycle
-// stepping; a predicate that depends only on Now() may observe a later
-// cycle than the first one satisfying it.
+// The predicate is evaluated at exactly the cycles where simulation
+// activity can occur (plus the budget boundary) — in both kernel modes.
+// The skipping kernel cannot evaluate it inside a skipped span, so the
+// shadow kernel deliberately restricts itself to the same observation
+// cycles; a differential run therefore calls the predicate at identical
+// cycles, which matters when the predicate has side effects or depends
+// on Now() rather than simulation state. Since no component state
+// changes inside a skipped span, predicates over simulation state still
+// observe every transition they could under per-cycle evaluation.
 func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
 	k.stopped = false
 	end := k.cycle + budget
@@ -292,11 +439,32 @@ func (k *Kernel) RunUntil(pred func() bool, budget int64) bool {
 		if pred() {
 			return true
 		}
+		if k.noskip {
+			// Step through the gap cycle by cycle (shadow semantics) but
+			// evaluate the predicate only where the skipping kernel can.
+			next := k.observable(end)
+			for k.cycle < next && !k.stopped {
+				k.Step()
+			}
+			continue
+		}
 		k.advanceTo(end)
 		k.Step()
 	}
 	return pred()
 }
+
+// --- Fabric: a serial kernel is the one-shard fabric ---
+
+// IslandKernel implements Fabric: every island lives on the kernel.
+func (k *Kernel) IslandKernel(island int) *Kernel { return k }
+
+// RegisterOn implements Fabric.
+func (k *Kernel) RegisterOn(island int, t Ticker) { k.Register(t) }
+
+// CrossPost implements Fabric: on a serial fabric cross-island
+// deliveries are ordinary timers.
+func (k *Kernel) CrossPost(src, dst int, minLatency int64) PostAt { return k.At }
 
 // NSToCycles converts a nanosecond duration to cycles, rounding up.
 func NSToCycles(ns int64) int64 {

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// relay is a minimal two-island workload: each tick it drains its
+// inbox, logs what it saw, and forwards incremented tokens to its peer
+// through the fabric's cross-island PostAt after a fixed latency. It is
+// the smallest rig that exercises registration slots, cross-shard
+// mailboxes, and quiescence hints at once.
+type relay struct {
+	name string
+	peer *relay
+	post PostAt
+	lat  int64
+	hops int
+
+	inbox []int
+	log   []string
+}
+
+func (r *relay) Tick(now int64) {
+	if len(r.inbox) == 0 {
+		return
+	}
+	pending := r.inbox
+	r.inbox = nil
+	for _, v := range pending {
+		r.log = append(r.log, fmt.Sprintf("%s@%d recv %d", r.name, now, v))
+		if v < r.hops {
+			vv := v + 1
+			peer := r.peer
+			r.post(now+r.lat, func() { peer.inbox = append(peer.inbox, vv) })
+		}
+	}
+}
+
+func (r *relay) NextWork(now int64) int64 {
+	if len(r.inbox) > 0 {
+		return now
+	}
+	return Dormant
+}
+
+// buildRelayRig assembles the two-relay rig on any fabric. Island 0
+// hosts A, island 1 hosts B; A starts with one token.
+func buildRelayRig(f Fabric, lat int64, hops int) (*relay, *relay) {
+	a := &relay{name: "A", lat: lat, hops: hops}
+	b := &relay{name: "B", lat: lat, hops: hops}
+	a.peer, b.peer = b, a
+	a.post = f.CrossPost(0, 1, lat)
+	b.post = f.CrossPost(1, 0, lat)
+	f.RegisterOn(0, a)
+	f.RegisterOn(1, b)
+	a.inbox = append(a.inbox, 0)
+	return a, b
+}
+
+// TestShardedMatchesSerial checks the tentpole property on the relay
+// rig: per-island event logs are identical across serial and sharded
+// execution, with and without cycle skipping, for several shard counts.
+func TestShardedMatchesSerial(t *testing.T) {
+	const lat, hops, span = 7, 40, 1000
+
+	run := func(f Fabric, skip bool) (alog, blog []string, now int64) {
+		a, b := buildRelayRig(f, lat, hops)
+		switch k := f.(type) {
+		case *Kernel:
+			k.SetSkipping(skip)
+		case *ShardedKernel:
+			k.SetSkipping(skip)
+		}
+		f.Run(span)
+		return a.log, b.log, f.Now()
+	}
+
+	refA, refB, refNow := run(New(), false)
+	if len(refA) == 0 || len(refB) == 0 {
+		t.Fatalf("reference run saw no traffic: A=%d B=%d", len(refA), len(refB))
+	}
+
+	for _, skip := range []bool{false, true} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("shards=%d skip=%v", shards, skip)
+			gotA, gotB, gotNow := run(NewSharded(shards), skip)
+			if gotNow != refNow {
+				t.Errorf("%s: end cycle %d, want %d", name, gotNow, refNow)
+			}
+			diffLogs(t, name+" islandA", gotA, refA)
+			diffLogs(t, name+" islandB", gotB, refB)
+		}
+		// Serial with skipping must also match serial without.
+		gotA, gotB, _ := run(New(), skip)
+		diffLogs(t, fmt.Sprintf("serial skip=%v islandA", skip), gotA, refA)
+		diffLogs(t, fmt.Sprintf("serial skip=%v islandB", skip), gotB, refB)
+	}
+}
+
+func diffLogs(t *testing.T, name string, got, want []string) {
+	t.Helper()
+	n := len(got)
+	if len(want) > n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		g, w := "<missing>", "<missing>"
+		if i < len(got) {
+			g = got[i]
+		}
+		if i < len(want) {
+			w = want[i]
+		}
+		if g != w {
+			t.Fatalf("%s: log[%d] = %q, want %q", name, i, g, w)
+		}
+	}
+}
+
+// TestShardedGlobalSlots pins that RegisterOn hands out fabric-global
+// slot numbers in registration order regardless of island, so timer
+// tie-breaks match a serial run with the same construction sequence.
+func TestShardedGlobalSlots(t *testing.T) {
+	sk := NewSharded(2)
+	mk := func() Ticker { return TickerFunc(func(int64) {}) }
+	sk.RegisterOn(0, mk())
+	sk.RegisterOn(1, mk())
+	sk.RegisterOn(0, mk())
+	if got := sk.Shard(0).tickers[0].slot; got != 0 {
+		t.Errorf("island0 first ticker slot = %d, want 0", got)
+	}
+	if got := sk.Shard(1).tickers[0].slot; got != 1 {
+		t.Errorf("island1 first ticker slot = %d, want 1", got)
+	}
+	if got := sk.Shard(0).tickers[1].slot; got != 2 {
+		t.Errorf("island0 second ticker slot = %d, want 2", got)
+	}
+}
+
+// TestShardedEmptyShardsFastPath: shards with no tickers, timers, or
+// wake hints advance to the barrier without work.
+func TestShardedEmptyShardsFastPath(t *testing.T) {
+	sk := NewSharded(4)
+	var ticks int64
+	sk.RegisterOn(0, TickerFunc(func(int64) { ticks++ }))
+	sk.Run(1000)
+	if ticks != 1000 {
+		t.Errorf("island0 ticked %d times, want 1000", ticks)
+	}
+	for i := 0; i < 4; i++ {
+		if got := sk.Shard(i).Now(); got != 1000 {
+			t.Errorf("shard %d at cycle %d, want 1000", i, got)
+		}
+	}
+	if sk.Now() != 1000 {
+		t.Errorf("barrier cycle %d, want 1000", sk.Now())
+	}
+}
+
+// TestShardedRunUntilBarrierGrid: with a 10-cycle lookahead the
+// predicate is only observed at barriers, so RunUntil overshoots to the
+// next multiple of the window.
+func TestShardedRunUntilBarrierGrid(t *testing.T) {
+	sk := NewSharded(2)
+	sk.RegisterOn(0, TickerFunc(func(int64) {}))
+	sk.RegisterOn(1, TickerFunc(func(int64) {}))
+	sk.CrossPost(0, 1, 10)
+	if got := sk.Lookahead(); got != 10 {
+		t.Fatalf("lookahead = %d, want 10", got)
+	}
+	ok := sk.RunUntil(func() bool { return sk.Now() >= 25 }, 1000)
+	if !ok {
+		t.Fatal("RunUntil did not satisfy predicate")
+	}
+	if sk.Now() != 30 {
+		t.Errorf("stopped at %d, want barrier 30", sk.Now())
+	}
+}
+
+// TestShardedAtBarrierHooks: hooks fire once per window, in order, on
+// the coordinating goroutine, after the barrier cycle is reached.
+func TestShardedAtBarrierHooks(t *testing.T) {
+	sk := NewSharded(2)
+	sk.RegisterOn(0, TickerFunc(func(int64) {}))
+	sk.RegisterOn(1, TickerFunc(func(int64) {}))
+	sk.CrossPost(0, 1, 25)
+	var seen []int64
+	sk.AtBarrier(func(now int64) { seen = append(seen, now) })
+	sk.Run(100)
+	want := []int64{25, 50, 75, 100}
+	if len(seen) != len(want) {
+		t.Fatalf("hook fired at %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("hook fired at %v, want %v", seen, want)
+		}
+	}
+}
+
+// TestShardedLookaheadViolationPanics: posting a cross-shard event
+// inside the current window means the declared minimum latency was
+// wrong; the mailbox must refuse loudly rather than lose determinism.
+func TestShardedLookaheadViolationPanics(t *testing.T) {
+	sk := NewSharded(2)
+	post := sk.CrossPost(0, 1, 10)
+	liar := TickerFunc(func(now int64) {
+		if now == 3 {
+			post(now+2, func() {}) // violates the declared latency of 10
+		}
+	})
+	sk.RegisterOn(0, liar)
+	// Island 1 stays empty so the window runs inline on this goroutine
+	// and the panic is recoverable.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on lookahead violation")
+		}
+	}()
+	sk.Run(100)
+}
+
+// TestShardedStop: Stop from a barrier hook halts at that barrier.
+func TestShardedStop(t *testing.T) {
+	sk := NewSharded(2)
+	sk.RegisterOn(0, TickerFunc(func(int64) {}))
+	sk.RegisterOn(1, TickerFunc(func(int64) {}))
+	sk.CrossPost(0, 1, 10)
+	sk.AtBarrier(func(now int64) {
+		if now >= 30 {
+			sk.Stop()
+		}
+	})
+	sk.Run(1000)
+	if sk.Now() != 30 {
+		t.Errorf("stopped at %d, want 30", sk.Now())
+	}
+}
+
+// TestSerialFabricEquivalence: building the relay rig through the
+// Kernel's own Fabric implementation is byte-identical to the plain
+// serial construction — the property that lets one rig builder serve
+// both modes.
+func TestSerialFabricEquivalence(t *testing.T) {
+	k1 := New()
+	a1, b1 := buildRelayRig(k1, 7, 40)
+	k1.Run(1000)
+
+	k2 := New()
+	a2, b2 := buildRelayRig(k2, 7, 40)
+	k2.Run(1000)
+
+	diffLogs(t, "islandA", a2.log, a1.log)
+	diffLogs(t, "islandB", b2.log, b1.log)
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import "sort"
+
+// MergeSamplers combines the series of several samplers — one per shard
+// of a sharded rig — into a single deterministic series set. Ordering
+// is stable and goroutine-independent: series are sorted by metric
+// name, with the argument position breaking name ties, and when the
+// same metric name appears on several shards its points are merged by
+// timestamp with the earlier-argument sampler winning timestamp ties.
+// A serial rig's sampler passed alone therefore comes back byte-
+// identical (up to the name sort), which is what lets the differential
+// battery compare serial and sharded telemetry dumps directly.
+func MergeSamplers(samplers ...*Sampler) []*Series {
+	type source struct {
+		arg int
+		sr  *Series
+	}
+	groups := map[string][]source{}
+	var names []string
+	for i, s := range samplers {
+		if s == nil {
+			continue
+		}
+		for _, sr := range s.Series() {
+			if _, seen := groups[sr.Name]; !seen {
+				names = append(names, sr.Name)
+			}
+			groups[sr.Name] = append(groups[sr.Name], source{arg: i, sr: sr})
+		}
+	}
+	sort.Strings(names)
+
+	out := make([]*Series, 0, len(names))
+	for _, name := range names {
+		srcs := groups[name]
+		m := &Series{Name: name, Kind: srcs[0].sr.Kind}
+		if len(srcs) == 1 {
+			m.AtNS = append(m.AtNS, srcs[0].sr.AtNS...)
+			m.Val = append(m.Val, srcs[0].sr.Val...)
+			out = append(out, m)
+			continue
+		}
+		// K-way merge by timestamp; ties go to the lower argument index
+		// (sources arrive in argument order, so scanning in order and
+		// picking the strictly smallest timestamp keeps the tie-break).
+		pos := make([]int, len(srcs))
+		for {
+			best := -1
+			for i, s := range srcs {
+				if pos[i] >= len(s.sr.AtNS) {
+					continue
+				}
+				if best < 0 || s.sr.AtNS[pos[i]] < srcs[best].sr.AtNS[pos[best]] {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			m.AtNS = append(m.AtNS, srcs[best].sr.AtNS[pos[best]])
+			m.Val = append(m.Val, srcs[best].sr.Val[pos[best]])
+			pos[best]++
+		}
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"testing"
+
+	"f4t/internal/sim"
+)
+
+// startTestSampler builds a kernel+registry pair with one gauge and
+// samples it every period cycles for span cycles.
+func startTestSampler(t *testing.T, name string, period, span int64, val func(now int64) int64) *Sampler {
+	t.Helper()
+	k := sim.New()
+	k.Register(sim.TickerFunc(func(int64) {}))
+	reg := NewRegistry()
+	reg.Gauge(name, func() int64 { return val(k.Now()) })
+	s := StartSampler(k, reg, period, 0)
+	k.Run(span)
+	return s
+}
+
+func TestMergeSamplersSingle(t *testing.T) {
+	s := startTestSampler(t, "m.a", 100, 1000, func(now int64) int64 { return now })
+	merged := MergeSamplers(s)
+	if len(merged) != 1 || merged[0].Name != "m.a" {
+		t.Fatalf("merged = %+v", merged)
+	}
+	orig := s.SeriesFor("m.a")
+	if len(merged[0].AtNS) != len(orig.AtNS) {
+		t.Fatalf("points %d, want %d", len(merged[0].AtNS), len(orig.AtNS))
+	}
+	for i := range orig.AtNS {
+		if merged[0].AtNS[i] != orig.AtNS[i] || merged[0].Val[i] != orig.Val[i] {
+			t.Fatalf("point %d: got (%d,%d) want (%d,%d)", i,
+				merged[0].AtNS[i], merged[0].Val[i], orig.AtNS[i], orig.Val[i])
+		}
+	}
+}
+
+func TestMergeSamplersStableOrder(t *testing.T) {
+	// Two shards with disjoint metric names plus one shared name: the
+	// merged set is name-sorted, and the shared series interleaves by
+	// timestamp with ties broken by argument order.
+	s0 := startTestSampler(t, "shard.shared", 100, 500, func(int64) int64 { return 0 })
+	s1 := startTestSampler(t, "shard.shared", 100, 500, func(int64) int64 { return 1 })
+	sa := startTestSampler(t, "a.only", 100, 300, func(int64) int64 { return 7 })
+	sz := startTestSampler(t, "z.only", 100, 300, func(int64) int64 { return 9 })
+
+	merged := MergeSamplers(sz, s0, s1, sa)
+	wantNames := []string{"a.only", "shard.shared", "z.only"}
+	if len(merged) != len(wantNames) {
+		t.Fatalf("got %d series, want %d", len(merged), len(wantNames))
+	}
+	for i, w := range wantNames {
+		if merged[i].Name != w {
+			t.Errorf("series[%d] = %s, want %s", i, merged[i].Name, w)
+		}
+	}
+
+	// Both shards sampled the shared metric at identical simulated
+	// times; the tie-break must put s0's point (val 0) before s1's at
+	// every timestamp, because s0 precedes s1 in the argument list.
+	var shared *Series
+	for _, m := range merged {
+		if m.Name == "shard.shared" {
+			shared = m
+		}
+	}
+	if got, want := len(shared.AtNS), 2*s0.Points(); got != want {
+		t.Fatalf("shared series has %d points, want %d", got, want)
+	}
+	for i := 0; i+1 < len(shared.AtNS); i += 2 {
+		if shared.AtNS[i] != shared.AtNS[i+1] {
+			t.Fatalf("point %d: timestamps %d,%d not paired", i, shared.AtNS[i], shared.AtNS[i+1])
+		}
+		if shared.Val[i] != 0 || shared.Val[i+1] != 1 {
+			t.Fatalf("point %d: tie-break order vals (%d,%d), want (0,1)", i, shared.Val[i], shared.Val[i+1])
+		}
+	}
+
+	// Determinism: merging again yields the same bytes.
+	again := MergeSamplers(sz, s0, s1, sa)
+	for i := range merged {
+		if merged[i].Name != again[i].Name || len(merged[i].AtNS) != len(again[i].AtNS) {
+			t.Fatalf("re-merge diverged on series %d", i)
+		}
+		for j := range merged[i].AtNS {
+			if merged[i].AtNS[j] != again[i].AtNS[j] || merged[i].Val[j] != again[i].Val[j] {
+				t.Fatalf("re-merge diverged at %d/%d", i, j)
+			}
+		}
+	}
+}
