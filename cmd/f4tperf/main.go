@@ -88,14 +88,16 @@ func runTrace(out string, cycles int64) {
 // skipping and writes the machine-readable comparison. With guard, the
 // process fails if the skip fast path stopped engaging — a
 // machine-independent floor (PR 1 recorded ~9.5x on the echo rig, so 2x
-// leaves generous noise headroom) — or if enabled telemetry more than
-// doubles the echo run.
+// leaves generous noise headroom) — if the saturated bulk path starts
+// allocating per cycle or slows past a loose wall ceiling, or if enabled
+// telemetry more than doubles the echo run.
 func runKernelBench(quick, guard bool, shards int, out string) {
 	res := exp.RunKernelBench(quick, shards)
 	for _, e := range res.Entries {
-		fmt.Printf("%-22s %6.2f sim ms  skip %5.1f%%  %8.2f ms wall (was %8.2f ms)  %5.2fx\n",
+		fmt.Printf("%-22s %6.2f sim ms  skip %5.1f%%  %8.2f ms wall (was %8.2f ms)  %5.2fx  %6.0f ns/cyc %6.3f allocs/cyc\n",
 			e.Name, e.SimMS, e.SkippedPct,
-			float64(e.WallNSSkip)/1e6, float64(e.WallNSNoSkip)/1e6, e.Speedup)
+			float64(e.WallNSSkip)/1e6, float64(e.WallNSNoSkip)/1e6, e.Speedup,
+			e.NSPerSteppedCycle, e.AllocsPerSteppedCycle)
 	}
 	if t := res.Telemetry; t != nil {
 		fmt.Printf("%-22s telemetry on: %8.2f ms wall (off %8.2f ms)  %+.1f%%  %d metrics, %d events\n",
@@ -129,6 +131,22 @@ func runKernelBench(quick, guard bool, shards int, out string) {
 				}
 				if e.SkippedPct < 50 {
 					fmt.Fprintf(os.Stderr, "guard: %s skipped %.1f%% < 50%% — quiescence detection regressed\n", e.Name, e.SkippedPct)
+					failed = true
+				}
+			}
+			if e.Name == "bulk-saturated-fig8a" {
+				// Allocation rate is machine-independent: the zero-alloc
+				// packet path measures ~0.04 objects per stepped cycle
+				// (timer-wheel ring warm-up; the steady state is zero), so
+				// 0.5 means a per-segment allocation came back. The wall
+				// ceiling is deliberately loose — it only catches
+				// catastrophic slowdowns, not host-speed variation.
+				if e.AllocsPerSteppedCycle > 0.5 {
+					fmt.Fprintf(os.Stderr, "guard: %s allocates %.2f objects per stepped cycle > 0.5 — zero-alloc path regressed\n", e.Name, e.AllocsPerSteppedCycle)
+					failed = true
+				}
+				if e.NSPerSteppedCycle > 20_000 {
+					fmt.Fprintf(os.Stderr, "guard: %s costs %.0f ns per stepped cycle > 20000 — saturated path regressed\n", e.Name, e.NSPerSteppedCycle)
 					failed = true
 				}
 			}

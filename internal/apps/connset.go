@@ -8,6 +8,7 @@ import "f4t/internal/host"
 type connSet struct {
 	list []host.Conn
 	idx  map[host.Conn]int
+	snap []host.Conn // Each's reusable snapshot buffer
 }
 
 func newConnSet() *connSet {
@@ -37,9 +38,14 @@ func (s *connSet) Remove(c host.Conn) {
 func (s *connSet) Len() int { return len(s.list) }
 
 // Each visits every member in a stable order; the callback may Remove
-// members (including the current one).
+// members (including the current one) or Add new ones (visited on the
+// next Each). The snapshot buffer is reused across calls — Each runs
+// every app tick, and a fresh copy per tick would dominate app-side
+// allocation. Each does not nest (apps drive it from a single thread
+// loop).
 func (s *connSet) Each(fn func(c host.Conn)) {
-	snapshot := append([]host.Conn(nil), s.list...)
+	snapshot := append(s.snap[:0], s.list...)
+	s.snap = snapshot
 	for _, c := range snapshot {
 		if _, ok := s.idx[c]; ok {
 			fn(c)

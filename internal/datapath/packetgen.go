@@ -70,7 +70,11 @@ func (g *Generator) Build(op tcpproc.SendOp, meta FlowMeta, fetch PayloadFetch, 
 		}
 		last := remaining == segLen
 
-		pkt := base
+		// Pooled: passing a stack packet's address to emit would force a
+		// heap copy per segment. The engine's RX stage recycles it after
+		// the receiver has consumed the frame (see wire.PutPacket).
+		pkt := wire.GetPacket()
+		*pkt = base
 		g.ipID++
 		pkt.IP.ID = g.ipID
 		if g.ecn && segLen > 0 {
@@ -93,7 +97,7 @@ func (g *Generator) Build(op tcpproc.SendOp, meta FlowMeta, fetch PayloadFetch, 
 		if fetch != nil && segLen > 0 {
 			pkt.Payload = fetch(seq, int(segLen))
 		}
-		emit(&pkt)
+		emit(pkt)
 		count++
 
 		if last {

@@ -13,8 +13,9 @@ type chunk struct {
 // touching payload bytes — the paper's "logical reassembly" (§4.1.2 RX
 // data path).
 type Reassembler struct {
-	rcvNxt seqnum.Value
-	chunks []chunk // sorted, disjoint, all strictly beyond rcvNxt
+	rcvNxt  seqnum.Value
+	chunks  []chunk // sorted, disjoint, all strictly beyond rcvNxt
+	scratch []chunk // Insert's merge buffer, swapped with chunks each merge
 }
 
 // InsertResult reports what one segment arrival did.
@@ -73,11 +74,24 @@ func (r *Reassembler) Insert(seq seqnum.Value, length int, wnd uint32) InsertRes
 		return res
 	}
 	res.Admitted = true
+
+	// Fast path: an in-order arrival with nothing parked — the steady
+	// state of a well-behaved flow — just moves the boundary. The merge
+	// machinery below would allocate a one-element list and immediately
+	// drain it, and this runs once per received segment.
+	if len(r.chunks) == 0 && start == r.rcvNxt {
+		r.rcvNxt = end
+		res.Advanced = true
+		res.NewRcvNxt = end
+		return res
+	}
+
 	coveredBefore := r.PendingBytes()
 
 	// Merge [start, end) into the chunk list: absorb every chunk that
-	// overlaps or touches the new range, keep the rest in order.
-	merged := make([]chunk, 0, len(r.chunks)+1)
+	// overlaps or touches the new range, keep the rest in order. The
+	// output buffer is recycled (swapped with chunks each merge).
+	merged := r.scratch[:0]
 	placed := false
 	for _, c := range r.chunks {
 		switch {
@@ -101,6 +115,7 @@ func (r *Reassembler) Insert(seq seqnum.Value, length int, wnd uint32) InsertRes
 	if !placed {
 		merged = append(merged, chunk{start, end})
 	}
+	r.scratch = r.chunks[:0]
 	r.chunks = merged
 
 	// Advance the boundary through any chunk now touching it.

@@ -77,6 +77,21 @@ func DefaultConfig() Config {
 	}
 }
 
+// Per-cycle work budgets of the modeled hardware (§4.1.2). Each stage
+// drains up to its budget per cycle — batching work behind one dispatch
+// instead of one item per tick — and the budgets are deterministic
+// constants, so serial, skipping, and sharded fabrics process identical
+// batches. They are figure semantics, not tunables: widening one changes
+// every throughput/latency result. The event-driven dispatch in Tick and
+// the sub-components only skips stages whose queues are provably empty;
+// it never widens a budget.
+const (
+	cmdBudgetPerCycle     = 4 // host commands decoded per cycle across channels (①)
+	rxBudgetPerCycle      = 2 // frames parsed per cycle (322 MHz parser vs 250 MHz core)
+	retryBudgetPerCycle   = 4 // bounced events re-submitted per cycle
+	timeoutBudgetPerCycle = 4 // deduped timeout events submitted per cycle
+)
+
 // flowMeta is the engine's per-flow directory entry.
 type flowMeta struct {
 	tcb     *flow.TCB
@@ -84,6 +99,34 @@ type flowMeta struct {
 	channel int // owning host queue pair (RSS, §4.6)
 	txRing  *datapath.Ring
 	rxRing  *datapath.Ring
+	// fetch reads send-payload bytes from txRing; built once per flow so
+	// the per-segment emit path does not allocate a closure.
+	fetch datapath.PayloadFetch
+}
+
+// tcbArenaChunk is the TCB bump-allocator granularity.
+const tcbArenaChunk = 256
+
+// tcbArena bump-allocates TCBs in chunks. Slots are deliberately never
+// reused: the scheduler's swap-in path parks *flow.TCB pointers on
+// kernel timers that can fire after the flow is freed, so recycling a
+// slot could hand two connections the same TCB. A dead TCB just pins
+// its chunk until the whole chunk is unreferenced; the steady-state
+// cost is one allocation per tcbArenaChunk connections instead of one
+// per connection.
+type tcbArena struct {
+	chunk []flow.TCB
+	off   int
+}
+
+func (a *tcbArena) alloc() *flow.TCB {
+	if a.off >= len(a.chunk) {
+		a.chunk = make([]flow.TCB, tcbArenaChunk)
+		a.off = 0
+	}
+	t := &a.chunk[a.off]
+	a.off++
+	return t
 }
 
 type listener struct {
@@ -118,6 +161,16 @@ type Engine struct {
 	freeIDs   []flow.ID
 	nextID    flow.ID
 	rng       *sim.Rand
+	tcbs      tcbArena
+
+	// Pre-bound hot-path callbacks (built once in New): the steady-state
+	// packet path schedules timers and expires deadlines without
+	// allocating a closure per event.
+	emitFn     func(*wire.Packet)
+	transmitFn func(any)
+	txFn       func(any)
+	timerLookT func(flow.ID) *flow.TCB
+	timerFire  func(flow.ID, uint8)
 
 	rxQueue *sim.Queue[*wire.Packet]
 	// Events bounced off full coalesce FIFOs, retried a few per cycle in
@@ -237,6 +290,18 @@ func New(k *sim.Kernel, cfg Config, tx func(*wire.Packet)) *Engine {
 	for _, ch := range e.Channels {
 		ch.SetDoorbell(func() { k.Wake(e) })
 	}
+	e.emitFn = e.emitPacket
+	e.transmitFn = func(arg any) { e.transmit(arg.(*wire.Packet)) }
+	e.txFn = func(arg any) { e.tx(arg.(*wire.Packet)) }
+	e.timerLookT = func(id flow.ID) *flow.TCB {
+		if fm := e.flows[id]; fm != nil {
+			return fm.tcb
+		}
+		return nil
+	}
+	e.timerFire = func(id flow.ID, kind uint8) {
+		e.submit(flow.Event{Kind: flow.EvTimeout, Flow: id, Timeouts: kind, Coalescable: true})
+	}
 	return e
 }
 
@@ -312,7 +377,8 @@ func (e *Engine) newFlow(tuple wire.FourTuple, channel int, state flow.State) (*
 		return nil, false
 	}
 	iss := seqnum.Value(e.rng.Uint32())
-	t := &flow.TCB{
+	t := e.tcbs.alloc()
+	*t = flow.TCB{
 		FlowID: id,
 		Tuple:  tuple,
 		State:  state,
@@ -333,6 +399,10 @@ func (e *Engine) newFlow(tuple wire.FourTuple, channel int, state flow.State) (*
 		}
 		fm.txRing = datapath.NewRing(size)
 		fm.rxRing = datapath.NewRing(size)
+	}
+	if fm.txRing != nil && !e.cfg.HeaderOnly {
+		ring := fm.txRing
+		fm.fetch = func(seq seqnum.Value, n int) []byte { return ring.ReadAt(seq, n) }
 	}
 	if !e.parser.Register(tuple, id, fm.rxRing) {
 		e.freeIDs = append(e.freeIDs, id)
@@ -360,6 +430,9 @@ func (e *Engine) freeFlow(id flow.ID) {
 func (e *Engine) DeliverPacket(pkt *wire.Packet) {
 	if !e.rxQueue.Push(pkt) {
 		e.RxDropped.Inc() // parser queue overrun: drop like a real NIC
+		if pkt.Kind == wire.KindTCP {
+			wire.PutPacket(pkt)
+		}
 	}
 	e.K.Wake(e) // packet arrival revives a quiescent engine
 }
@@ -436,7 +509,7 @@ func (e *Engine) Tick(cycle int64) {
 // drainCommands converts fetched host commands into events (the host
 // interface of §4.1.2 ①). Up to four commands per cycle across channels.
 func (e *Engine) drainCommands() {
-	budget := 4
+	budget := cmdBudgetPerCycle
 	for _, ch := range e.Channels {
 		for budget > 0 {
 			cmd, ok := ch.PeekCommand()
@@ -529,7 +602,7 @@ func (e *Engine) submit(ev flow.Event) {
 // drainRx runs the RX parser pipeline: up to two packets per cycle
 // (the 322 MHz parser outpaces the 250 MHz control path).
 func (e *Engine) drainRx() {
-	for i := 0; i < 2; i++ {
+	for i := 0; i < rxBudgetPerCycle; i++ {
 		pkt, ok := e.rxQueue.Peek()
 		if !ok {
 			return
@@ -544,6 +617,14 @@ func (e *Engine) drainRx() {
 		}
 		e.rxQueue.Pop()
 		e.handleRx(pkt)
+		if pkt.Kind == wire.KindTCP {
+			// The parser copied everything it needs (payload bytes into
+			// the reassembly ring, header fields into the event), so the
+			// engine is the frame's last reader and recycles it. ARP and
+			// ICMP frames are excluded: their replies may alias the
+			// request's payload slice.
+			wire.PutPacket(pkt)
+		}
 	}
 }
 
@@ -612,14 +693,14 @@ func (e *Engine) handleRx(pkt *wire.Packet) {
 // retries events that bounced off full FIFOs (bounded per cycle,
 // stopping at the first still-blocked entry to preserve order).
 func (e *Engine) fireTimers() {
-	for i := 0; i < 4; i++ {
+	for i := 0; i < retryBudgetPerCycle && e.retryQ.Len() > 0; i++ {
 		ev, ok := e.retryQ.Peek()
 		if !ok || !e.sch.Submit(ev) {
 			break
 		}
 		e.retryQ.Pop()
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < timeoutBudgetPerCycle && e.toOrder.Len() > 0; i++ {
 		id, ok := e.toOrder.Peek()
 		if !ok {
 			break
@@ -636,14 +717,12 @@ func (e *Engine) fireTimers() {
 		e.toOrder.Pop()
 		delete(e.toPending, id)
 	}
-	e.timers.Expire(e.K.NowNS(), func(id flow.ID) *flow.TCB {
-		if fm := e.flows[id]; fm != nil {
-			return fm.tcb
-		}
-		return nil
-	}, func(id flow.ID, kind uint8) {
-		e.submit(flow.Event{Kind: flow.EvTimeout, Flow: id, Timeouts: kind, Coalescable: true})
-	})
+	// Event-driven fast path: scanning the timer module costs nothing
+	// while the earliest deadline is in the future — the common case on
+	// every ticked cycle of a saturated run.
+	if d := e.timers.NextDeadline(); d != 0 && d <= e.K.NowNS() {
+		e.timers.Expire(e.K.NowNS(), e.timerLookT, e.timerFire)
+	}
 }
 
 // applyActions is the FPU output stage: segments to the packet
@@ -679,28 +758,11 @@ func (e *Engine) emitSegment(fm *flowMeta, op *tcpproc.SendOp) {
 		}
 	}
 	mac, req, ok := e.arp.Resolve(fm.meta.Tuple.RemoteAddr)
-	var fetch datapath.PayloadFetch
-	if fm.txRing != nil && !e.cfg.HeaderOnly {
-		ring := fm.txRing
-		fetch = func(seq seqnum.Value, n int) []byte { return ring.ReadAt(seq, n) }
-	}
-	emit := func(p *wire.Packet) {
-		if e.cfg.HeaderOnly {
-			p.HeaderOnly = true
-		}
-		if p.PayloadLen > 0 && !e.cfg.HeaderOnly {
-			// TX payload DMA: the generator fetches the bytes from host
-			// memory just before transmission (§4.1.2 ②).
-			done := e.PCIe.TransferToDevice(int64(p.PayloadLen))
-			target := p
-			e.K.At(done, func() { e.transmitTo(fm, target) })
-			return
-		}
-		e.transmitTo(fm, p)
-	}
 	if !ok {
+		// Unresolved peer (cold path): park the generated packets until
+		// the ARP reply arrives; flushARPWait fills in the MAC.
 		meta := fm.meta
-		e.gen.Build(*op, meta, fetch, func(p *wire.Packet) {
+		e.gen.Build(*op, meta, fm.fetch, func(p *wire.Packet) {
 			e.arpWait[fm.meta.Tuple.RemoteAddr] = append(e.arpWait[fm.meta.Tuple.RemoteAddr], p)
 		})
 		if req != nil {
@@ -709,12 +771,23 @@ func (e *Engine) emitSegment(fm *flowMeta, op *tcpproc.SendOp) {
 		return
 	}
 	fm.meta.PeerMAC = mac
-	e.gen.Build(*op, fm.meta, fetch, emit)
+	e.gen.Build(*op, fm.meta, fm.fetch, e.emitFn)
 }
 
-func (e *Engine) transmitTo(fm *flowMeta, p *wire.Packet) {
-	if p.Eth.Dst == (wire.MAC{}) {
-		p.Eth.Dst = fm.meta.PeerMAC
+// emitPacket is the generator's emit callback on the resolved path (the
+// peer MAC is already in the headers).
+func (e *Engine) emitPacket(p *wire.Packet) {
+	if e.cfg.HeaderOnly {
+		p.HeaderOnly = true
+		e.transmit(p)
+		return
+	}
+	if p.PayloadLen > 0 {
+		// TX payload DMA: the generator fetches the bytes from host
+		// memory just before transmission (§4.1.2 ②).
+		done := e.PCIe.TransferToDevice(int64(p.PayloadLen))
+		e.K.AtCall(done, e.transmitFn, p)
+		return
 	}
 	e.transmit(p)
 }
@@ -737,8 +810,7 @@ func (e *Engine) transmit(pkt *wire.Packet) {
 		return
 	}
 	done := e.txRate.Reserve(e.K.Now(), int64(pkt.WireLen()))
-	target := pkt
-	e.K.At(done, func() { e.tx(target) })
+	e.K.AtCall(done, e.txFn, pkt)
 }
 
 // flushARPWait releases packets parked on a resolution.

@@ -259,6 +259,11 @@ func (m *Manager) NextWork(now int64) int64 {
 // DRAM RMW) and retire those whose memory access completed — handling
 // events "directly to TCBs in the memory" (§4.3.1).
 func (m *Manager) Tick(cycle int64) {
+	// Event-driven dispatch: nothing queued and nothing in flight means
+	// both stages below are no-ops.
+	if m.input.Len() == 0 && m.inFlight.Len() == 0 {
+		return
+	}
 	// Start at most one new access per cycle.
 	if ev, ok := m.input.Peek(); ok {
 		if t := m.tcbs[ev.Flow]; t == nil {

@@ -178,18 +178,16 @@ func (s *Scheduler) Submit(ev flow.Event) bool {
 	idx := int(uint64(ev.Flow) % uint64(len(s.fifos)))
 	q := s.fifos[idx]
 	if s.cfg.Coalesce && ev.Coalescable {
-		merged := false
-		q.Scan(func(e *flow.Event) bool {
+		// Index-based scan: a Scan closure capturing ev would force the
+		// event to escape on every submit, and this is the engine's
+		// per-segment hot path.
+		for i, n := 0, q.Len(); i < n; i++ {
+			e := q.AtPtr(i)
 			if e.Flow == ev.Flow && e.Coalescable && e.Kind == ev.Kind {
 				coalesceInto(e, &ev)
-				merged = true
-				return false
+				s.Coalesced.Inc()
+				return true
 			}
-			return true
-		})
-		if merged {
-			s.Coalesced.Inc()
-			return true
 		}
 	}
 	return q.Push(ev)
@@ -264,6 +262,22 @@ func (s *Scheduler) NextWork(now int64) int64 {
 
 // Tick advances routing, pending retries and migrations.
 func (s *Scheduler) Tick(cycle int64) {
+	// Event-driven dispatch: with every input queue empty each stage is a
+	// no-op (route pops nothing, retryPending and processSwapIns see empty
+	// queues), so skip the three stage calls. Mirrors NextWork's idleness
+	// conditions exactly, so behavior is unchanged — only dispatch cost.
+	if s.pending.Len() == 0 && s.swapReqs.Len() == 0 {
+		busy := false
+		for _, q := range s.fifos {
+			if q.Len() > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+	}
 	s.route(cycle)
 	s.retryPending(cycle)
 	s.processSwapIns(cycle)

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"testing"
+
+	"f4t/internal/apps"
+	"f4t/internal/cpu"
+)
+
+// bulkRig builds the saturated bulk-transfer pair (the Fig 8a shape) and
+// runs it past connection setup into steady state.
+func bulkRig() (*F4TPair, *apps.BulkSender) {
+	p := NewF4TPair(2, 2, cpu.DefaultCosts(), nil)
+	sink := apps.NewSink(p.MachB.Threads(), 7003)
+	p.K.Register(sink)
+	p.K.Run(2_000)
+	bs := apps.NewBulkSender(p.MachA.Threads(), 0, 7003, 1460)
+	p.K.Register(bs)
+	p.K.RunUntil(bs.Ready, 1_000_000)
+	return p, bs
+}
+
+// BenchmarkBulkSaturated is the wall-clock figure of merit for the
+// event-driven kernel work: a full rig build plus 500k saturated cycles.
+// Run with -benchmem; the alloc count covers rig construction too, so
+// the steady-state guard is TestBulkSteadyStateAllocs below.
+func BenchmarkBulkSaturated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, _ := bulkRig()
+		p.K.Run(500_000)
+	}
+}
+
+// BenchmarkBulkSteady measures the marginal cost of one saturated cycle
+// with rig construction and warmup excluded — the number schema/4's
+// ns_per_stepped_cycle tracks.
+func BenchmarkBulkSteady(b *testing.B) {
+	p, _ := bulkRig()
+	p.K.Run(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.K.Run(1_000)
+	}
+}
+
+// TestBulkSteadyStateAllocs pins the zero-allocation packet path: once a
+// saturated bulk flow is warmed up (queues grown, pools primed, arenas
+// sized), stepping the simulation must not allocate per cycle. The bound
+// is per 10k-cycle window, so it tolerates a rare amortized growth event
+// while failing loudly if any per-segment or per-cycle allocation sneaks
+// back into the datapath, engine, hostif, softstack, or kernel timers.
+func TestBulkSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation guard needs a warmed rig")
+	}
+	p, _ := bulkRig()
+	p.K.Run(1_000_000) // warm: pools primed, queues at steady depth
+
+	avg := testing.AllocsPerRun(20, func() {
+		p.K.Run(10_000)
+	})
+	t.Logf("steady-state allocs per 10k-cycle window: %.2f", avg)
+	// ~7 segments/10k cycles/direction at 1460 B over 100G — anything
+	// near 1 alloc per window means a hot path regressed.
+	if avg > 8 {
+		t.Fatalf("steady-state bulk run allocates %.1f objects per 10k cycles, want ~0", avg)
+	}
+}

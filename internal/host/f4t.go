@@ -100,6 +100,8 @@ type f4tThread struct {
 	conns map[*softstack.Socket]*f4tConn
 
 	listening map[uint16]bool
+
+	evScratch []ConnEvent // Poll's reusable translation buffer
 }
 
 // Core implements Thread.
@@ -129,13 +131,14 @@ func (t *f4tThread) Listen(port uint16) {
 }
 
 // Poll implements Thread: map the library's readiness events (already
-// paid for when drained) to the app-facing form.
+// paid for when drained) to the app-facing form. The returned slice is
+// reused by the next Poll; apps consume events before polling again.
 func (t *f4tThread) Poll() []ConnEvent {
 	evs := t.lib.TakeEvents()
 	if len(evs) == 0 {
 		return nil
 	}
-	out := make([]ConnEvent, 0, len(evs))
+	out := t.evScratch[:0]
 	for _, ev := range evs {
 		c := t.conns[ev.Sock]
 		if c == nil {
@@ -158,6 +161,7 @@ func (t *f4tThread) Poll() []ConnEvent {
 		}
 		out = append(out, ConnEvent{Kind: kind, Conn: c})
 	}
+	t.evScratch = out
 	return out
 }
 

@@ -27,6 +27,16 @@ type Channel struct {
 
 	onPost func() // doorbell hook: fires on every host Post
 
+	// Pooled DMA batches and their prebound landing callbacks: each
+	// in-flight transfer carries a recycled batch struct through AtCall
+	// instead of a fresh slice plus closure, keeping the saturated
+	// command/completion path allocation-free. Free lists are per-channel
+	// (channels are single-shard objects), so recycling is deterministic.
+	cmdDoneFn  func(any)
+	compDoneFn func(any)
+	cmdFree    []*cmdBatch
+	compFree   []*compBatch
+
 	// Stats.
 	Posted    int64
 	Fetched   int64
@@ -37,10 +47,22 @@ type Channel struct {
 	tid int32
 }
 
+// cmdBatch is one in-flight command DMA read (at most fetchBatch
+// commands per fetch).
+type cmdBatch struct {
+	cmds [fetchBatch]Command
+	n    int
+}
+
+// compBatch is one in-flight completion DMA write.
+type compBatch struct {
+	comps []Completion
+}
+
 // NewChannel builds a queue pair. cmdBytes is 16 (default) or 8 (the §6
 // PCIe optimization).
 func NewChannel(k *sim.Kernel, pcie *PCIe, cmdBytes int64) *Channel {
-	return &Channel{
+	c := &Channel{
 		k:        k,
 		pcie:     pcie,
 		cmdBytes: cmdBytes,
@@ -48,6 +70,26 @@ func NewChannel(k *sim.Kernel, pcie *PCIe, cmdBytes int64) *Channel {
 		device:   sim.NewQueue[Command](QueueDepth),
 		comps:    sim.NewQueue[Completion](0),
 	}
+	c.cmdDoneFn = func(arg any) {
+		b := arg.(*cmdBatch)
+		for i := 0; i < b.n; i++ {
+			c.device.Push(b.cmds[i])
+		}
+		c.Fetched += int64(b.n)
+		c.fetching--
+		b.n = 0
+		c.cmdFree = append(c.cmdFree, b)
+	}
+	c.compDoneFn = func(arg any) {
+		b := arg.(*compBatch)
+		for _, cp := range b.comps {
+			c.comps.Push(cp)
+		}
+		c.Completed += int64(len(b.comps))
+		b.comps = b.comps[:0]
+		c.compFree = append(c.compFree, b)
+	}
+	return c
 }
 
 // SetDoorbell registers a callback invoked on every host Post — the MMIO
@@ -101,23 +143,23 @@ func (c *Channel) TickDevice() {
 				return // device queue full: backpressure to the host queue
 			}
 		}
-		batch := make([]Command, 0, n)
-		for i := 0; i < n; i++ {
-			cmd, _ := c.host.Pop()
-			batch = append(batch, cmd)
+		var b *cmdBatch
+		if ln := len(c.cmdFree); ln > 0 {
+			b = c.cmdFree[ln-1]
+			c.cmdFree = c.cmdFree[:ln-1]
+		} else {
+			b = new(cmdBatch)
 		}
+		for i := 0; i < n; i++ {
+			b.cmds[i], _ = c.host.Pop()
+		}
+		b.n = n
 		c.fetching++
 		done := c.pcie.TransferToDevice(int64(n) * c.cmdBytes)
 		if c.trc != nil {
 			c.traceDMA("cmd.fetch", c.k.Now(), done, n)
 		}
-		c.k.At(done, func() {
-			for _, cmd := range batch {
-				c.device.Push(cmd)
-			}
-			c.Fetched += int64(len(batch))
-			c.fetching--
-		})
+		c.k.AtCall(done, c.cmdDoneFn, b)
 	}
 }
 
@@ -139,18 +181,19 @@ func (c *Channel) PushCompletions(comps []Completion) {
 	if len(comps) == 0 {
 		return
 	}
-	batch := make([]Completion, len(comps))
-	copy(batch, comps)
-	done := c.pcie.TransferToHost(int64(len(batch)) * CompletionBytes)
-	if c.trc != nil {
-		c.traceDMA("comp.dma", c.k.Now(), done, len(batch))
+	var b *compBatch
+	if ln := len(c.compFree); ln > 0 {
+		b = c.compFree[ln-1]
+		c.compFree = c.compFree[:ln-1]
+	} else {
+		b = new(compBatch)
 	}
-	c.k.At(done, func() {
-		for _, cp := range batch {
-			c.comps.Push(cp)
-		}
-		c.Completed += int64(len(batch))
-	})
+	b.comps = append(b.comps, comps...)
+	done := c.pcie.TransferToHost(int64(len(comps)) * CompletionBytes)
+	if c.trc != nil {
+		c.traceDMA("comp.dma", c.k.Now(), done, len(comps))
+	}
+	c.k.AtCall(done, c.compDoneFn, b)
 }
 
 // PopCompletion polls the completion queue (the software doorbell path:

@@ -36,13 +36,14 @@ type Faults struct {
 
 // Pipe is one direction of a link.
 type Pipe struct {
-	k       *sim.Kernel
-	post    sim.PostAt // delivery scheduler: k.At, or a cross-shard mailbox
-	rate    *sim.ByteRate
-	prop    int64 // propagation delay in cycles
-	deliver func(*wire.Packet)
-	faults  Faults
-	rng     *sim.Rand
+	k         *sim.Kernel
+	post      sim.Poster // delivery scheduler: the kernel, or a cross-shard mailbox
+	deliverFn func(any)  // pre-bound delivery callback (one closure per pipe, not per packet)
+	rate      *sim.ByteRate
+	prop      int64 // propagation delay in cycles
+	deliver   func(*wire.Packet)
+	faults    Faults
+	rng       *sim.Rand
 
 	// Stats.
 	SentPkts    int64
@@ -67,7 +68,8 @@ func NewPipe(k *sim.Kernel, gbps int64, propNS int64, seed uint64, deliver func(
 		deliver: deliver,
 		rng:     sim.NewRand(seed),
 	}
-	p.post = k.At
+	p.post = k
+	p.deliverFn = func(arg any) { p.deliver(arg.(*wire.Packet)) }
 	return p
 }
 
@@ -149,8 +151,7 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 	if p.trc != nil {
 		p.traceSend(p.k.Now(), at, wireLen)
 	}
-	target := pkt
-	p.post(at, func() { p.deliver(target) })
+	p.post.AtCall(at, p.deliverFn, pkt)
 
 	if f.DupProb > 0 && p.rng.Bool(f.DupProb) {
 		p.DupPkts++
@@ -158,7 +159,7 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 			p.traceFault("pkt.dup")
 		}
 		dup := *pkt
-		p.post(at+1, func() { p.deliver(&dup) })
+		p.post.AtCall(at+1, p.deliverFn, &dup)
 	}
 }
 

@@ -71,6 +71,12 @@ func (q *Queue[T]) Scan(fn func(*T) bool) {
 	}
 }
 
+// AtPtr returns a pointer to the i-th queued element in FIFO order
+// (0 = oldest). Index-based iteration via Len/AtPtr lets hot paths scan
+// without the closure Scan requires, which would force its captured
+// locals to escape. The pointer is invalidated by the next Push or Pop.
+func (q *Queue[T]) AtPtr(i int) *T { return &q.buf[q.head+i] }
+
 // Reset discards all elements.
 func (q *Queue[T]) Reset() {
 	q.buf = q.buf[:0]

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"reflect"
@@ -60,6 +59,17 @@ type Runner interface {
 // and of the cross-shard posting funcs a Fabric hands out.
 type PostAt func(cycle int64, fn func())
 
+// Poster schedules callbacks at absolute cycles. At takes a closure;
+// AtCall takes a plain function plus its argument, which lets per-packet
+// hot paths schedule a delivery without allocating a closure (storing a
+// pointer in an `any` does not allocate). Both forms share the same
+// deterministic ordering key. The Kernel and the cross-shard Mailbox
+// both implement Poster; Fabric.CrossPost hands one out.
+type Poster interface {
+	At(cycle int64, fn func())
+	AtCall(cycle int64, call func(arg any), arg any)
+}
+
 // Fabric abstracts where a rig's components live: on a single serial
 // Kernel (every island shares it) or spread across the shards of a
 // ShardedKernel. Rig builders target Fabric so one construction path
@@ -68,7 +78,7 @@ type PostAt func(cycle int64, fn func())
 //
 // An island is a group of components that share state directly (an
 // engine plus its host machine and apps). Cross-island interactions
-// must go through the PostAt returned by CrossPost, which carries the
+// must go through the Poster returned by CrossPost, which carries the
 // link's minimum latency so the sharded scheduler can derive its
 // conservative lookahead.
 type Fabric interface {
@@ -83,7 +93,7 @@ type Fabric interface {
 	// CrossPost returns the scheduler for deliveries from src to dst.
 	// minLatency is the smallest possible cycle delta between posting
 	// and the posted cycle; it lower-bounds the fabric's lookahead.
-	CrossPost(src, dst int, minLatency int64) PostAt
+	CrossPost(src, dst int, minLatency int64) Poster
 }
 
 // timerEvent is a scheduled callback ordered by a structured key that
@@ -105,7 +115,9 @@ type timerEvent struct {
 	icycle int64 // insertion cycle
 	slot   int32 // inserting context's global slot (-1 = external)
 	sub    int64 // per-context insertion counter
-	fn     func()
+	fn     func()        // closure form (At)
+	call   func(arg any) // call form (AtCall); fires call(arg) when non-nil
+	arg    any
 }
 
 func keyLess(a, b *timerEvent) bool {
@@ -121,17 +133,52 @@ func keyLess(a, b *timerEvent) bool {
 	return a.sub < b.sub
 }
 
+// timerHeap is a hand-rolled binary min-heap ordered by keyLess. The
+// kernel schedules one timer per DMA completion, TX serialization, and
+// link delivery, so the interface boxing container/heap would impose
+// (one allocation per Push and per Pop) is a measurable cost on
+// saturated rigs; sifting over the concrete slice keeps the hot path
+// allocation-free.
 type timerHeap []timerEvent
 
-func (h timerHeap) Len() int            { return len(h) }
-func (h timerHeap) Less(i, j int) bool  { return keyLess(&h[i], &h[j]) }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(timerEvent)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
+func (h *timerHeap) push(ev timerEvent) {
+	s := append(*h, ev)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(&s[i], &s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *timerHeap) pop() timerEvent {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = timerEvent{} // release fn/arg references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && keyLess(&s[l], &s[min]) {
+			min = l
+		}
+		if r < n && keyLess(&s[r], &s[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
 	return ev
 }
 
@@ -281,11 +328,19 @@ func (k *Kernel) WakeAt(t Ticker, cycle int64) {
 // order: by insertion cycle, then by the inserting component's slot,
 // then by insertion order within that component.
 func (k *Kernel) At(cycle int64, fn func()) {
-	heap.Push(&k.timers, k.event(cycle, fn))
+	k.timers.push(k.event(cycle, fn, nil, nil))
+}
+
+// AtCall is At for the closure-free form: it schedules call(arg) at the
+// given cycle. Hot paths that would otherwise capture their argument in
+// a fresh closure per event (one per packet delivery) pre-build one
+// func(any) and pass the payload through arg instead.
+func (k *Kernel) AtCall(cycle int64, call func(arg any), arg any) {
+	k.timers.push(k.event(cycle, nil, call, arg))
 }
 
 // event stamps a timer with the current insertion context's key.
-func (k *Kernel) event(cycle int64, fn func()) timerEvent {
+func (k *Kernel) event(cycle int64, fn func(), call func(arg any), arg any) timerEvent {
 	if cycle <= k.cycle {
 		cycle = k.cycle + 1
 	}
@@ -293,7 +348,7 @@ func (k *Kernel) event(cycle int64, fn func()) timerEvent {
 		panic("sim: scheduling a local timer from a cross-shard delivery; post through the Mailbox instead")
 	}
 	*k.curSub++
-	return timerEvent{cycle: cycle, icycle: k.cycle, slot: k.curSlot, sub: *k.curSub, fn: fn}
+	return timerEvent{cycle: cycle, icycle: k.cycle, slot: k.curSlot, sub: *k.curSub, fn: fn, call: call, arg: arg}
 }
 
 // After schedules fn to run delta cycles from now (minimum 1).
@@ -307,7 +362,7 @@ func (k *Kernel) After(delta int64, fn func()) {
 // inject merges an externally built event (a cross-shard delivery) into
 // the timer heap. Only the ShardedKernel calls this, at barriers.
 func (k *Kernel) inject(ev timerEvent) {
-	heap.Push(&k.timers, ev)
+	k.timers.push(ev)
 }
 
 // Stop requests that Run return at the end of the current cycle.
@@ -319,7 +374,7 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Step() {
 	k.cycle++
 	for len(k.timers) > 0 && k.timers[0].cycle <= k.cycle {
-		ev := heap.Pop(&k.timers).(timerEvent)
+		ev := k.timers.pop()
 		// Timer callbacks inherit the scheduling component's identity,
 		// so chains like "engine tick → At(txDone) → pipe.Send → At(
 		// delivery)" stay ordered by the originating slot. A foreign
@@ -332,7 +387,11 @@ func (k *Kernel) Step() {
 		} else {
 			k.curSlot, k.curSub = ev.slot, nil
 		}
-		ev.fn()
+		if ev.call != nil {
+			ev.call(ev.arg)
+		} else {
+			ev.fn()
+		}
 	}
 	for i := range k.tickers {
 		e := &k.tickers[i]
@@ -464,7 +523,7 @@ func (k *Kernel) RegisterOn(island int, t Ticker) { k.Register(t) }
 
 // CrossPost implements Fabric: on a serial fabric cross-island
 // deliveries are ordinary timers.
-func (k *Kernel) CrossPost(src, dst int, minLatency int64) PostAt { return k.At }
+func (k *Kernel) CrossPost(src, dst int, minLatency int64) Poster { return k }
 
 // NSToCycles converts a nanosecond duration to cycles, rounding up.
 func NSToCycles(ns int64) int64 {

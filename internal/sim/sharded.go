@@ -123,20 +123,20 @@ func (sk *ShardedKernel) RegisterOn(island int, t Ticker) {
 // CrossPost implements Fabric. Same-shard islands short-circuit to the
 // shard's own timer heap; distinct shards get a Mailbox, and the
 // fabric's lookahead shrinks to the smallest declared latency.
-func (sk *ShardedKernel) CrossPost(src, dst int, minLatency int64) PostAt {
+func (sk *ShardedKernel) CrossPost(src, dst int, minLatency int64) Poster {
 	if minLatency < 1 {
 		panic("sim: CrossPost needs a positive minimum latency")
 	}
 	sks, skd := sk.Shard(src), sk.Shard(dst)
 	if sks == skd {
-		return sks.At
+		return sks
 	}
 	if minLatency < sk.lookahead {
 		sk.lookahead = minLatency
 	}
 	m := &Mailbox{src: sks, dst: skd}
 	sk.boxes = append(sk.boxes, m)
-	return m.At
+	return m
 }
 
 // Run advances all shards by n cycles in lookahead-bounded windows.
@@ -246,7 +246,16 @@ func (m *Mailbox) At(cycle int64, fn func()) {
 	if cycle <= m.horizon {
 		panic(fmt.Sprintf("sim: cross-shard event for cycle %d within the current window (barrier %d): lookahead violation", cycle, m.horizon))
 	}
-	m.out = append(m.out, m.src.event(cycle, fn))
+	m.out = append(m.out, m.src.event(cycle, fn, nil, nil))
+}
+
+// AtCall is the closure-free form of At; see Kernel.AtCall. The event
+// still crosses at the barrier with the full structured key.
+func (m *Mailbox) AtCall(cycle int64, call func(arg any), arg any) {
+	if cycle <= m.horizon {
+		panic(fmt.Sprintf("sim: cross-shard event for cycle %d within the current window (barrier %d): lookahead violation", cycle, m.horizon))
+	}
+	m.out = append(m.out, m.src.event(cycle, nil, call, arg))
 }
 
 // flush merges the window's events into the destination heap. Order of

@@ -7,13 +7,13 @@ import (
 
 // relay is a minimal two-island workload: each tick it drains its
 // inbox, logs what it saw, and forwards incremented tokens to its peer
-// through the fabric's cross-island PostAt after a fixed latency. It is
+// through the fabric's cross-island Poster after a fixed latency. It is
 // the smallest rig that exercises registration slots, cross-shard
 // mailboxes, and quiescence hints at once.
 type relay struct {
 	name string
 	peer *relay
-	post PostAt
+	post Poster
 	lat  int64
 	hops int
 
@@ -32,7 +32,7 @@ func (r *relay) Tick(now int64) {
 		if v < r.hops {
 			vv := v + 1
 			peer := r.peer
-			r.post(now+r.lat, func() { peer.inbox = append(peer.inbox, vv) })
+			r.post.At(now+r.lat, func() { peer.inbox = append(peer.inbox, vv) })
 		}
 	}
 }
@@ -207,7 +207,7 @@ func TestShardedLookaheadViolationPanics(t *testing.T) {
 	post := sk.CrossPost(0, 1, 10)
 	liar := TickerFunc(func(now int64) {
 		if now == 3 {
-			post(now+2, func() {}) // violates the declared latency of 10
+			post.At(now+2, func() {}) // violates the declared latency of 10
 		}
 	})
 	sk.RegisterOn(0, liar)

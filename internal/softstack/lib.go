@@ -50,6 +50,7 @@ type Lib struct {
 	nextPort  uint16
 
 	events []Event
+	spare  []Event // double-buffer recycled by TakeEvents
 
 	// Stats.
 	CmdsPosted     int64
@@ -145,9 +146,16 @@ func (l *Lib) PendingEvents() int { return len(l.events) }
 // since the last take, clearing the list. CPU-costed drivers pair PollOne
 // (charged per completion) with TakeEvents (free — the events were
 // already paid for).
+//
+// The returned slice is valid only until the next take: the list
+// double-buffers, so the buffer handed out now becomes the accumulation
+// target after the next take. Callers that iterate the events before
+// polling again (every driver in the tree) never notice; nothing may
+// retain the slice across polls.
 func (l *Lib) TakeEvents() []Event {
 	out := l.events
-	l.events = nil
+	l.events = l.spare[:0]
+	l.spare = out
 	return out
 }
 

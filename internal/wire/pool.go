@@ -1,0 +1,31 @@
+package wire
+
+import "sync"
+
+// pktPool recycles Packet structs on the steady-state data path. The
+// ownership rule is single-freer: the engine's RX stage is the only
+// component that calls PutPacket (a frame's last reader once the parser
+// has copied payload bytes and header fields out), so every other drop
+// point — link loss, software-stack sinks, test harnesses — simply lets
+// the garbage collector take the packet. That keeps the invariant
+// trivially checkable: no packet ever has two owners, and a pooled
+// packet can never still be referenced.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed Packet, recycled when possible. Callers
+// must overwrite every field they rely on (the generator copies a full
+// template over it).
+func GetPacket() *Packet {
+	return pktPool.Get().(*Packet)
+}
+
+// PutPacket recycles a packet. The struct is cleared first — in
+// particular Payload is dropped, so a reply that aliased the request's
+// payload slice (ICMP echo) keeps sole ownership of the backing array.
+func PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	*p = Packet{}
+	pktPool.Put(p)
+}
