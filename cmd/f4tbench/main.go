@@ -7,7 +7,8 @@
 //	f4tbench -exp all -quick      # everything, reduced sweeps
 //
 // Experiments: table1 table2 fig1 fig2 fig7b fig8 fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 fig16a fig16b alg
+// fig12 fig13 fig14 fig15 fig16a fig16b alg, the abl-* ablations, and
+// the topology scenarios incast fanio mixed wan
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"f4t/internal/exp"
@@ -43,6 +45,13 @@ var runners = map[string]func(quick bool) *exp.Table{
 	"abl-fpcs":     exp.AblationFPCScaling,
 	"abl-coalesce": exp.AblationCoalescing,
 	"abl-cache":    exp.AblationTCBCache,
+
+	// Multi-node topology scenarios (not paper figures; they exercise
+	// the router/AQM subsystem under datacenter traffic patterns).
+	"incast": exp.ScenarioIncast,
+	"fanio":  exp.ScenarioFanio,
+	"mixed":  exp.ScenarioMixed,
+	"wan":    exp.ScenarioWAN,
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -50,13 +59,21 @@ var order = []string{
 	"table1", "table2", "fig1", "fig2", "fig7b", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
 	"fig16b", "alg", "abl-fpcs", "abl-coalesce", "abl-cache",
+	"incast", "fanio", "mixed", "wan",
 }
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment to run (or 'all', or 'list')")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	workers := flag.Int("workers", 1, "distribute a sweep's independent rigs over N goroutines (fig9, fig13, fig16a); results are identical for any N")
+	aqm := flag.String("aqm", "", "restrict the topology scenarios to one queue discipline ("+strings.Join(exp.ScenarioAQMNames(), ", ")+"); default sweeps all")
 	flag.Parse()
+
+	// Fail fast on a bad discipline name instead of burning a sweep.
+	if err := exp.SetScenarioAQM(*aqm); err != nil {
+		fmt.Fprintf(os.Stderr, "f4tbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if w := *workers; w > 1 {
 		runners["fig9"] = func(q bool) *exp.Table { return exp.Fig9Workers(q, w) }

@@ -1,17 +1,40 @@
 // f4tinfo prints the design-summary artifacts that need no simulation:
-// the resource model (Figure 7b) and the qualitative comparison tables
-// (Tables 1 and 2).
+// the resource model (Figure 7b), the qualitative comparison tables
+// (Tables 1 and 2), and the registries of runnable names — congestion
+// control algorithms, conformance rigs, topology scenarios, and queue
+// disciplines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
+	"f4t/internal/cc"
+	"f4t/internal/conformance"
 	"f4t/internal/exp"
+	"f4t/internal/netsim"
 )
 
+var shows = []string{"fig7b", "table1", "table2", "names", "all"}
+
+// names prints every registry a command-line flag validates against, so
+// "what can I pass to -alg / -rig / -exp / -aqm" has one answer.
+func names() {
+	rigs := make([]string, len(conformance.AllRigs))
+	for i, r := range conformance.AllRigs {
+		rigs[i] = r.String()
+	}
+	fmt.Printf("cc algorithms (f4ttrace -alg):      %s\n", strings.Join(cc.Names(), ", "))
+	fmt.Printf("conformance rigs (f4tconform -rig): %s\n", strings.Join(rigs, ", "))
+	fmt.Printf("topology scenarios (f4tbench -exp): %s\n", strings.Join(exp.ScenarioNames(), ", "))
+	fmt.Printf("queue disciplines (f4tbench -aqm):  %s\n", strings.Join(exp.ScenarioAQMNames(), ", "))
+	fmt.Printf("router AQM kinds (netsim):          %s\n", strings.Join(netsim.AQMNames(), ", "))
+}
+
 func main() {
-	which := flag.String("show", "all", "what to print: fig7b, table1, table2, all")
+	which := flag.String("show", "all", "what to print: "+strings.Join(shows, ", "))
 	flag.Parse()
 
 	switch *which {
@@ -21,11 +44,18 @@ func main() {
 		fmt.Print(exp.Table1().String())
 	case "table2":
 		fmt.Print(exp.Table2().String())
-	default:
+	case "names":
+		names()
+	case "all":
 		fmt.Print(exp.Table1().String())
 		fmt.Println()
 		fmt.Print(exp.Table2().String())
 		fmt.Println()
 		fmt.Print(exp.Fig7b().String())
+		fmt.Println()
+		names()
+	default:
+		fmt.Fprintf(os.Stderr, "f4tinfo: unknown -show %q (want %s)\n", *which, strings.Join(shows, ", "))
+		os.Exit(2)
 	}
 }

@@ -101,6 +101,26 @@ var goldenScripts = map[string][]ccEvent{
 		[]ccEvent{{kind: "timeout"}},
 		acks(60, 1460, 1_000_000), // slow start again below new ssthresh
 	),
+	"newreno": cat(
+		acks(40, 1460, 1_000_000), // slow start out of IW10
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(120, 1460, 1_000_000), // linear congestion avoidance
+		[]ccEvent{{kind: "timeout"}},
+		acks(60, 1460, 1_000_000), // slow start again below new ssthresh
+	),
+	// Vegas is delay-based, so its script varies the RTT: a low-RTT phase
+	// pins baseRTT, an inflated-RTT phase drives diff above beta (epoch
+	// decreases), and a near-base phase drives diff below alpha (epoch
+	// increases). Loss/RTO handling still follows the Reno shape.
+	"vegas": cat(
+		acks(40, 1460, 500_000),    // slow start; baseRTT settles at 500 us
+		acks(120, 1460, 2_000_000), // queue delay → per-epoch decrease
+		acks(120, 1460, 520_000),   // back near base → per-epoch increase
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(60, 1460, 520_000),
+		[]ccEvent{{kind: "timeout"}},
+		acks(30, 1460, 520_000),
+	),
 	"dctcp": cat(
 		acks(80, 1460, 200_000),  // slow start, no marks
 		macks(32, 1460, 200_000), // a heavily marked window → α jumps, cwnd cut

@@ -12,6 +12,7 @@ package conformance
 
 import (
 	"fmt"
+	"strings"
 
 	"f4t/internal/engine"
 	"f4t/internal/flow"
@@ -26,19 +27,21 @@ import (
 // RigKind selects the endpoint pairing under test.
 type RigKind int
 
-// The three rig pairings: software stack on both ends, the FtEngine
-// model against the software stack (differential), and FtEngine on both
-// ends.
+// The rig pairings: software stack on both ends, the FtEngine model
+// against the software stack (differential), FtEngine on both ends, and
+// FtEngine on both ends joined through an output-queued router instead
+// of a point-to-point link.
 const (
 	RigSoftSoft RigKind = iota
 	RigEngineSoft
 	RigEngineEngine
+	RigEngineEngineRouted
 )
 
 // AllRigs lists every pairing, in sweep order.
-var AllRigs = []RigKind{RigSoftSoft, RigEngineSoft, RigEngineEngine}
+var AllRigs = []RigKind{RigSoftSoft, RigEngineSoft, RigEngineEngine, RigEngineEngineRouted}
 
-var rigNames = [...]string{"soft-soft", "engine-soft", "engine-engine"}
+var rigNames = [...]string{"soft-soft", "engine-soft", "engine-engine", "engine-engine-routed"}
 
 // String returns the rig's command-line name.
 func (r RigKind) String() string {
@@ -55,7 +58,7 @@ func ParseRig(s string) (RigKind, error) {
 			return RigKind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("unknown rig %q (want soft-soft, engine-soft or engine-engine)", s)
+	return 0, fmt.Errorf("unknown rig %q (want %s)", s, strings.Join(rigNames[:], ", "))
 }
 
 // Conn is the substrate-independent view of one connection under test.
@@ -101,6 +104,9 @@ const rigRcvBuf = 64 * 1024
 const (
 	islandA = 0
 	islandB = 1
+	// The routed rig's switch lives on its own island, so a sharded run
+	// exercises the router/endpoint barriers too.
+	rigRouterIsland = 2
 )
 
 // Rig is one two-endpoint test network: A dials, B listens.
@@ -145,37 +151,56 @@ func NewRig(kind RigKind, seed uint64) *Rig {
 // shard matrix test in shard_test.go holds it to that).
 func NewRigOn(f sim.Fabric, kind RigKind, seed uint64) *Rig {
 	kA, kB := f.IslandKernel(islandA), f.IslandKernel(islandB)
-	link := netsim.NewLinkOn(f, islandA, islandB, 100, 600, seed*4+1)
 	ipA, ipB := wire.MakeAddr(10, 9, 0, 1), wire.MakeAddr(10, 9, 0, 2)
 	macA, macB := wire.MAC{2, 9, 0, 0, 0, 1}, wire.MAC{2, 9, 0, 0, 0, 2}
 
-	r := &Rig{Kind: kind, R: f, Link: link}
+	r := &Rig{Kind: kind, R: f}
 	if k, ok := f.(*sim.Kernel); ok {
 		r.K = k
 	}
+
+	// The endpoints either face each other over a point-to-point link or
+	// hang off a one-switch star. Either way r.Link names the two pipes
+	// faults inject on: for the routed rig those are the uplinks, so the
+	// fault schedule hits before the router queues, like a real host NIC.
+	var topo *netsim.Topology
+	var txA, txB func(*wire.Packet)
+	if kind == RigEngineEngineRouted {
+		specs := []netsim.NodeSpec{
+			{Addr: ipA, MAC: macA, Island: islandA, Gbps: 100, PropNS: 600},
+			{Addr: ipB, MAC: macB, Island: islandB, Gbps: 100, PropNS: 600},
+		}
+		topo = netsim.NewStarOn(f, rigRouterIsland, specs, netsim.DropTail(0), seed*4+1)
+		r.Link = &netsim.Link{AtoB: topo.Uplinks[0], BtoA: topo.Uplinks[1]}
+		txA, txB = topo.NodeTX(0), topo.NodeTX(1)
+	} else {
+		r.Link = netsim.NewLinkOn(f, islandA, islandB, 100, 600, seed*4+1)
+		txA, txB = r.Link.AtoB.Send, r.Link.BtoA.Send
+	}
+
 	var deliverA, deliverB func(*wire.Packet)
 	var tickA, tickB sim.Ticker
 
 	switch kind {
 	case RigSoftSoft:
-		a := newStackEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+		a := newStackEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
 		a.ep.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
 		tickA, tickB = a, b
 		r.A, r.B = a, b
 	case RigEngineSoft:
-		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
 		a.eng.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
 		tickA, tickB = a.eng, b
 		r.A, r.B = a, b
-	case RigEngineEngine:
-		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, link.AtoB.Send)
-		b := newEngineEnd(kB, "B", ipB, macB, ipA, seed*4+3, link.BtoA.Send)
+	case RigEngineEngine, RigEngineEngineRouted:
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
+		b := newEngineEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
 		a.eng.LearnPeer(ipB, macB)
 		b.eng.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
@@ -189,8 +214,13 @@ func NewRigOn(f sim.Fabric, kind RigKind, seed uint64) *Rig {
 
 	r.InjToB = &rstInjector{next: deliverB}
 	r.InjToA = &rstInjector{next: deliverA}
-	link.AtoB.SetSink(r.InjToB.deliver)
-	link.BtoA.SetSink(r.InjToA.deliver)
+	if topo != nil {
+		topo.SetNodeSink(0, r.InjToA.deliver)
+		topo.SetNodeSink(1, r.InjToB.deliver)
+	} else {
+		r.Link.AtoB.SetSink(r.InjToB.deliver)
+		r.Link.BtoA.SetSink(r.InjToA.deliver)
+	}
 	return r
 }
 

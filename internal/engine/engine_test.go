@@ -435,7 +435,7 @@ func TestEngineDCTCPOverECN(t *testing.T) {
 		c.Alg = "dctcp"
 		c.Proto.ECN = true
 	})
-	r.link.AtoB.SetFaults(netsim.Faults{MarkThresholdNS: 4_000})
+	r.link.AtoB.SetAQM(netsim.ECNThreshold(4_000, 0))
 
 	var srv *softstack.Socket
 	r.l2.Listen(80)

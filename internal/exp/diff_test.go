@@ -157,7 +157,7 @@ func f4tDctcpSig(skip bool) (string, int64) {
 	})
 	k := p.K
 	k.SetSkipping(skip)
-	p.Link.AtoB.SetFaults(netsim.Faults{MarkThresholdNS: 1_000})
+	p.Link.AtoB.SetAQM(netsim.ECNThreshold(1_000, 0))
 	sink := apps.NewSink(p.MachB.Threads(), 5004)
 	k.Register(sink)
 	k.Run(2_000)

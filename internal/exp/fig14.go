@@ -56,14 +56,13 @@ func F4TCwndTrace(alg string, dropEvery int64, durationCycles, sampleCycles int6
 		}
 	})
 	k := p.K
-	faults := netsim.Faults{DropEvery: dropEvery}
+	p.Link.AtoB.SetFaults(netsim.Faults{DropEvery: dropEvery})
 	if alg == "dctcp" {
 		// DCTCP modulates on congestion marks, not loss: give the trace
 		// an ECN-marking bottleneck so its signal actually exercises the
 		// algorithm rather than just its loss fallback.
-		faults.MarkThresholdNS = 1_000
+		p.Link.AtoB.SetAQM(netsim.ECNThreshold(1_000, 0))
 	}
-	p.Link.AtoB.SetFaults(faults)
 
 	sink := apps.NewSink(p.MachB.Threads(), 5001)
 	k.Register(sink)

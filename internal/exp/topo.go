@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"f4t/internal/cpu"
+	"f4t/internal/engine"
+	"f4t/internal/host"
+	"f4t/internal/netsim"
+	"f4t/internal/sim"
+	"f4t/internal/wire"
+)
+
+// Topology rig addresses: node i of a multi-node rig (10.1.0.0/16 so
+// they never collide with the two-node testbed's 10.0.0.x).
+func StarAddr(i int) wire.Addr {
+	return wire.MakeAddr(10, 1, byte((i+1)>>8), byte((i+1)&0xff))
+}
+
+// StarMAC is node i's MAC.
+func StarMAC(i int) wire.MAC {
+	return wire.MAC{2, 0, 1, 0, byte((i + 1) >> 8), byte((i + 1) & 0xff)}
+}
+
+// F4TStar is n F4T hosts around one output-queued switch — the incast,
+// fan-in and mixed-traffic shape. Node i lives on island i; the switch
+// is island n, so a sharded fabric parallelizes hosts against the
+// switch too. Every flow crosses the sender's uplink pipe and the
+// receiver's downlink RouterPort, where the AQM discipline acts.
+type F4TStar struct {
+	R       sim.Runner
+	K       *sim.Kernel   // serial kernel, nil when R is sharded
+	Kernels []*sim.Kernel // island clocks per node
+	Topo    *netsim.Topology
+	Engines []*engine.Engine
+	Machs   []*host.F4TMachine
+	Addrs   []wire.Addr
+}
+
+// RouterIsland returns the switch's island number for an n-node star.
+func RouterIsland(n int) int { return n }
+
+// NewF4TStarOn builds an n-node star on any fabric. cores[i] sets node
+// i's channel/thread count; aqm is applied to every switch output port.
+// mutate adjusts the shared engine configuration (all nodes). Like
+// NewF4TPairOn, construction order is identical on every fabric, which
+// keeps sharded runs bit-for-bit comparable to serial ones.
+func NewF4TStarOn(f sim.Fabric, cores []int, costs cpu.Costs, aqm netsim.AQMConfig, mutate func(*engine.Config)) *F4TStar {
+	n := len(cores)
+	specs := make([]netsim.NodeSpec, n)
+	addrs := make([]wire.Addr, n)
+	for i := range specs {
+		addrs[i] = StarAddr(i)
+		specs[i] = netsim.NodeSpec{
+			Addr: addrs[i], MAC: StarMAC(i), Island: i,
+			Gbps: LinkGbps, PropNS: LinkPropNS,
+		}
+	}
+	topo := netsim.NewStarOn(f, RouterIsland(n), specs, aqm, 4321)
+
+	base := engine.DefaultConfig()
+	if mutate != nil {
+		mutate(&base)
+	}
+	s := &F4TStar{R: f, Topo: topo, Addrs: addrs}
+	if k, ok := f.(*sim.Kernel); ok {
+		s.K = k
+	}
+	for i := 0; i < n; i++ {
+		k := f.IslandKernel(i)
+		cfg := base
+		cfg.IP, cfg.MAC = addrs[i], StarMAC(i)
+		// Per-node streams derive from the (mutable) base seed, so a
+		// differential battery can vary the whole rig's randomness by
+		// setting Seed in mutate.
+		cfg.Seed = base.Seed + uint64(101+i*101)
+		cfg.Channels = cores[i]
+		eng := engine.New(k, cfg, topo.NodeTX(i))
+		topo.SetNodeSink(i, eng.DeliverPacket)
+		s.Kernels = append(s.Kernels, k)
+		s.Engines = append(s.Engines, eng)
+	}
+	for i, eng := range s.Engines {
+		for j := 0; j < n; j++ {
+			if j != i {
+				eng.LearnPeer(addrs[j], StarMAC(j))
+			}
+		}
+	}
+	// remotes == addrs for every machine, so remote index j always means
+	// node j (index i, the machine itself, is simply never dialed).
+	for i := 0; i < n; i++ {
+		s.Machs = append(s.Machs, host.NewF4TMachine(s.Kernels[i], s.Engines[i], cores[i], costs, addrs))
+	}
+	// Engines first, then machines, mirroring NewF4TPairOn: the slot
+	// order (after the topology's ports) is part of the determinism
+	// contract.
+	for i, eng := range s.Engines {
+		f.RegisterOn(i, eng)
+	}
+	for i, m := range s.Machs {
+		f.RegisterOn(i, m)
+	}
+	return s
+}
+
+// WANSpec describes one sender of the RTT-diverse WAN rig: which router
+// of the chain it attaches to and its access propagation delay.
+type WANSpec struct {
+	RouterIdx int
+	PropNS    int64
+	Gbps      int64
+}
+
+// F4TWAN is a chain-of-routers rig: node 0 (the sink) attaches to
+// router 0; senders attach per their WANSpec. Node i is island i, and
+// router r is island n+r.
+type F4TWAN struct {
+	R       sim.Runner
+	Kernels []*sim.Kernel
+	Topo    *netsim.Topology
+	Engines []*engine.Engine
+	Machs   []*host.F4TMachine
+	Addrs   []wire.Addr
+}
+
+// NewF4TWANOn builds the multi-hop WAN rig on any fabric: a chain of
+// nRouters joined by trunks, the receiver on router 0, one sender per
+// spec. All nodes run one core.
+func NewF4TWANOn(f sim.Fabric, nRouters int, trunkGbps, trunkPropNS int64, recvPropNS int64, senders []WANSpec, costs cpu.Costs, aqm netsim.AQMConfig, mutate func(*engine.Config)) *F4TWAN {
+	n := len(senders) + 1
+	routerIslands := make([]int, nRouters)
+	for r := range routerIslands {
+		routerIslands[r] = n + r
+	}
+	specs := make([]netsim.NodeSpec, n)
+	addrs := make([]wire.Addr, n)
+	addrs[0] = StarAddr(0)
+	specs[0] = netsim.NodeSpec{
+		Addr: addrs[0], MAC: StarMAC(0), Island: 0, RouterIdx: 0,
+		Gbps: LinkGbps, PropNS: recvPropNS,
+	}
+	for i, ws := range senders {
+		addrs[i+1] = StarAddr(i + 1)
+		gbps := ws.Gbps
+		if gbps == 0 {
+			gbps = LinkGbps
+		}
+		specs[i+1] = netsim.NodeSpec{
+			Addr: addrs[i+1], MAC: StarMAC(i + 1), Island: i + 1,
+			RouterIdx: ws.RouterIdx, Gbps: gbps, PropNS: ws.PropNS,
+		}
+	}
+	topo := netsim.NewChainOn(f, routerIslands, trunkGbps, trunkPropNS, specs, aqm, 8765)
+
+	base := engine.DefaultConfig()
+	if mutate != nil {
+		mutate(&base)
+	}
+	w := &F4TWAN{R: f, Topo: topo, Addrs: addrs}
+	for i := 0; i < n; i++ {
+		k := f.IslandKernel(i)
+		cfg := base
+		cfg.IP, cfg.MAC = addrs[i], StarMAC(i)
+		cfg.Seed = base.Seed + uint64(303+i*101)
+		cfg.Channels = 1
+		eng := engine.New(k, cfg, topo.NodeTX(i))
+		topo.SetNodeSink(i, eng.DeliverPacket)
+		w.Kernels = append(w.Kernels, k)
+		w.Engines = append(w.Engines, eng)
+	}
+	for i, eng := range w.Engines {
+		for j := 0; j < n; j++ {
+			if j != i {
+				eng.LearnPeer(addrs[j], StarMAC(j))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		w.Machs = append(w.Machs, host.NewF4TMachine(w.Kernels[i], w.Engines[i], 1, costs, addrs))
+	}
+	for i, eng := range w.Engines {
+		f.RegisterOn(i, eng)
+	}
+	for i, m := range w.Machs {
+		f.RegisterOn(i, m)
+	}
+	return w
+}

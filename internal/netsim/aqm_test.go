@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"testing"
+
+	"f4t/internal/wire"
+)
+
+// The AQM unit tests run the discipline state machines against
+// hand-computed sequences: RED here is the deterministic count-based
+// variant (every ceil(1/p_b)-th packet of the congested band acts), and
+// CoDel's control law is deterministic by construction, so every
+// decision below is arithmetic, not statistics.
+
+func TestParseAQM(t *testing.T) {
+	for i, name := range AQMNames() {
+		k, err := ParseAQM(name)
+		if err != nil || int(k) != i {
+			t.Fatalf("ParseAQM(%q) = %v, %v", name, k, err)
+		}
+		if k.String() != name {
+			t.Fatalf("String() = %q, want %q", k.String(), name)
+		}
+	}
+	if _, err := ParseAQM("fq-pie"); err == nil {
+		t.Fatal("ParseAQM accepted an unknown discipline")
+	}
+}
+
+func TestDropTailLimit(t *testing.T) {
+	a := newAQM(DropTail(100))
+	if v := a.admitEnqueue(90, 10, 0, false); v != admitPass {
+		t.Fatalf("fits exactly: got %v", v)
+	}
+	if v := a.admitEnqueue(95, 10, 0, false); v != admitDrop {
+		t.Fatalf("overflow: got %v", v)
+	}
+	if v := a.admitEnqueue(0, 10, 0, false); v != admitPass {
+		t.Fatalf("empty queue: got %v", v)
+	}
+}
+
+func TestThresholdMarking(t *testing.T) {
+	a := newAQM(ECNThreshold(1_000, 0))
+	if v := a.admitEnqueue(0, 10, 500, true); v != admitPass {
+		t.Fatalf("below threshold: got %v", v)
+	}
+	if v := a.admitEnqueue(0, 10, 1_001, true); v != admitMark {
+		t.Fatalf("above threshold, ECT: got %v", v)
+	}
+	// Not-ECT traffic is never marked by the step threshold — it passes
+	// (the byte limit still protects the queue).
+	if v := a.admitEnqueue(0, 10, 1_001, false); v != admitPass {
+		t.Fatalf("above threshold, not-ECT: got %v", v)
+	}
+}
+
+// redCfg is the hand-computable RED configuration: weight shift 0 makes
+// the EWMA track the instantaneous depth exactly, min 100 B, max 300 B,
+// maxP 0.5, so p_b = 0.5*(q-100)/200 and the deterministic variant acts
+// when count*p_b reaches 1.
+func redCfg(ecn bool) AQMConfig {
+	return AQMConfig{
+		Kind: AQMRED, ECN: ecn,
+		REDMinBytes: 100, REDMaxBytes: 300, REDMaxP: 0.5, REDWeightShift: 0,
+	}
+}
+
+func TestREDHandComputedSequence(t *testing.T) {
+	a := newAQM(redCfg(false))
+	steps := []struct {
+		q    int64
+		want verdict
+	}{
+		{50, admitPass},  // avg 50 < min: count reset
+		{100, admitPass}, // p_b = 0, count 1
+		{200, admitPass}, // p_b 0.25, count 2: 0.50 < 1
+		{200, admitPass}, // count 3: 0.75 < 1
+		{200, admitDrop}, // count 4: 1.00 >= 1 -> act, count reset
+		{200, admitPass}, // count 1: 0.25 < 1
+		{300, admitDrop}, // avg >= max: forced
+		{90, admitPass},  // back below min
+	}
+	for i, s := range steps {
+		if v := a.admitEnqueue(s.q, 10, 0, false); v != s.want {
+			t.Fatalf("step %d (q=%d): got %v want %v", i, s.q, v, s.want)
+		}
+	}
+}
+
+func TestREDMarksWhenECN(t *testing.T) {
+	a := newAQM(redCfg(true))
+	// Same arithmetic as above: the 4th in-band arrival acts, but as a
+	// CE mark because the packet is ECN-capable.
+	for i := 0; i < 3; i++ {
+		if v := a.admitEnqueue(200, 10, 0, true); v != admitPass {
+			t.Fatalf("arrival %d: got %v", i, v)
+		}
+	}
+	if v := a.admitEnqueue(200, 10, 0, true); v != admitMark {
+		t.Fatalf("4th arrival: got %v, want mark", v)
+	}
+	// A not-ECT packet in the same situation must be dropped instead.
+	a2 := newAQM(redCfg(true))
+	for i := 0; i < 3; i++ {
+		a2.admitEnqueue(200, 10, 0, false)
+	}
+	if v := a2.admitEnqueue(200, 10, 0, false); v != admitDrop {
+		t.Fatalf("not-ECT 4th arrival: got %v, want drop", v)
+	}
+}
+
+func TestREDEWMASmoothes(t *testing.T) {
+	cfg := redCfg(false)
+	cfg.REDWeightShift = 3 // avg moves 1/8th of the gap per arrival
+	a := newAQM(cfg)
+	// One 800 B burst arrival after a long idle queue: avg only reaches
+	// 100 (800/8), still below... exactly at min. Next arrival at q=0
+	// decays it back. No action either time.
+	if v := a.admitEnqueue(800, 10, 0, false); v != admitPass {
+		t.Fatalf("burst arrival acted at avg=%d", a.avgShifted>>3)
+	}
+	if got := a.avgShifted >> 3; got != 100 {
+		t.Fatalf("avg after burst = %d, want 100", got)
+	}
+	if v := a.admitEnqueue(0, 10, 0, false); v != admitPass {
+		t.Fatalf("decay arrival acted")
+	}
+	if got := a.avgShifted >> 3; got != 87 { // 800 + (0 - 100) = 700 -> avg floor(87.5)
+		t.Fatalf("avg after decay = %d, want 87", got)
+	}
+}
+
+func TestCoDelHandComputedSequence(t *testing.T) {
+	cfg := AQMConfig{Kind: AQMCoDel, CoDelTargetNS: 100, CoDelIntervalNS: 1000}
+	a := newAQM(cfg)
+	steps := []struct {
+		now, sojourn int64
+		want         verdict
+	}{
+		{0, 50, admitPass},     // below target
+		{100, 150, admitPass},  // above: arm firstAbove = 1100
+		{500, 200, admitPass},  // still inside the interval
+		{1100, 200, admitDrop}, // interval elapsed: enter dropping, count 1, next 2100
+		{1200, 150, admitPass}, // before dropNext
+		{2100, 150, admitDrop}, // count 2, next 2100+707 = 2807
+		{2807, 150, admitDrop}, // count 3, next 2807+577 = 3384
+		{3000, 50, admitPass},  // sojourn recovered: leave dropping
+		{3100, 150, admitPass}, // re-arm firstAbove = 4100
+		{4100, 150, admitDrop}, // recent dropping (4100-3384 < 1000) and
+		{4100, 150, admitPass}, //   count 3-2 = 1 resumed: next 4100+1000
+	}
+	for i, s := range steps {
+		if v := a.admitDequeue(s.now, s.sojourn, 1_000, false); v != s.want {
+			t.Fatalf("step %d (now=%d sojourn=%d): got %v want %v", i, s.now, s.sojourn, v, s.want)
+		}
+	}
+}
+
+func TestCoDelMarksWhenECN(t *testing.T) {
+	cfg := AQMConfig{Kind: AQMCoDel, ECN: true, CoDelTargetNS: 100, CoDelIntervalNS: 1000}
+	a := newAQM(cfg)
+	a.admitDequeue(100, 150, 1_000, true) // arm
+	if v := a.admitDequeue(1100, 200, 1_000, true); v != admitMark {
+		t.Fatalf("ECT packet at control-law firing: got %v, want mark", v)
+	}
+	// The same firing against a not-ECT packet drops.
+	a2 := newAQM(cfg)
+	a2.admitDequeue(100, 150, 1_000, false)
+	if v := a2.admitDequeue(1100, 200, 1_000, false); v != admitDrop {
+		t.Fatalf("not-ECT packet at control-law firing: got %v, want drop", v)
+	}
+}
+
+func TestCoDelDrainDryResets(t *testing.T) {
+	cfg := AQMConfig{Kind: AQMCoDel, CoDelTargetNS: 100, CoDelIntervalNS: 1000}
+	a := newAQM(cfg)
+	a.admitDequeue(0, 150, 1_000, false) // arm at 1000
+	// Sojourn still high but the queue just went empty: CoDel resets,
+	// because a dry queue cannot be a standing queue.
+	if v := a.admitDequeue(1500, 150, 0, false); v != admitPass {
+		t.Fatalf("dry queue: got %v", v)
+	}
+	if a.firstAbove != 0 {
+		t.Fatalf("firstAbove not reset: %d", a.firstAbove)
+	}
+}
+
+func TestMarkCECopies(t *testing.T) {
+	pkt := &wire.Packet{Kind: wire.KindTCP}
+	pkt.IP.ECN = wire.ECNECT0
+	if !ecnCapable(pkt) {
+		t.Fatal("ECT0 packet not ECN-capable")
+	}
+	m := markCE(pkt)
+	if m.IP.ECN != wire.ECNCE {
+		t.Fatal("copy not CE-marked")
+	}
+	if pkt.IP.ECN != wire.ECNECT0 {
+		t.Fatal("original mutated — aliased duplicates would lose ECT")
+	}
+	if ecnCapable(&wire.Packet{Kind: wire.KindARP}) {
+		t.Fatal("ARP reported ECN-capable")
+	}
+}

@@ -26,24 +26,19 @@ type Faults struct {
 	// for the Fig 14 "occasional packet drops" runs where determinism
 	// matters more than randomness
 	DropOnce int64 // drop exactly the Nth packet then disarm (0 = off)
-
-	// MarkThresholdNS enables RFC 3168 ECN marking: when the pipe's
-	// serialization backlog exceeds this many nanoseconds, ECN-capable
-	// packets (ECT codepoints) are marked CE instead of queue-dropped —
-	// the switch behaviour DCTCP depends on. 0 disables marking.
-	MarkThresholdNS int64
 }
 
 // Pipe is one direction of a link.
 type Pipe struct {
-	k         *sim.Kernel
-	post      sim.Poster // delivery scheduler: the kernel, or a cross-shard mailbox
-	deliverFn func(any)  // pre-bound delivery callback (one closure per pipe, not per packet)
-	rate      *sim.ByteRate
-	prop      int64 // propagation delay in cycles
-	deliver   func(*wire.Packet)
-	faults    Faults
-	rng       *sim.Rand
+	k             *sim.Kernel
+	post          sim.Poster // delivery scheduler: the kernel, or a cross-shard mailbox
+	deliverFn     func(any)  // pre-bound delivery callback (one closure per pipe, not per packet)
+	rate          *sim.ByteRate
+	prop          int64 // propagation delay in cycles
+	deliver       func(*wire.Packet)
+	faults        Faults
+	rng           *sim.Rand
+	markThreshold int64 // backlog cycles above which ECT packets are CE-marked (SetAQM)
 
 	// Stats.
 	SentPkts    int64
@@ -82,6 +77,20 @@ func MinLatencyCycles(propNS int64) int64 { return sim.NSToCycles(propNS) + 1 }
 
 // SetFaults installs a fault-injection profile.
 func (p *Pipe) SetFaults(f Faults) { p.faults = f }
+
+// SetAQM installs a queue discipline on the pipe. A pipe's queue is its
+// implicit serialization backlog, so only the DCTCP step-marking subset
+// applies (AQMDropTail + MarkThresholdNS): ECN-capable packets are
+// CE-marked while the backlog delay exceeds the threshold — the switch
+// behaviour DCTCP depends on. Disciplines that need an explicit packet
+// queue (RED, CoDel) live on a RouterPort; asking a pipe for them is a
+// rig construction bug and panics.
+func (p *Pipe) SetAQM(cfg AQMConfig) {
+	if cfg.Kind != AQMDropTail {
+		panic("netsim: Pipe supports only threshold ECN marking; use a RouterPort for " + cfg.Kind.String())
+	}
+	p.markThreshold = sim.NSToCycles(cfg.MarkThresholdNS)
+}
 
 // SetSink replaces the delivery callback (used when endpoints attach
 // after link construction).
@@ -126,14 +135,12 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		return
 	}
 
-	// ECN marking: an over-threshold standing queue marks ECN-capable
-	// traffic instead of growing unbounded.
-	if f.MarkThresholdNS > 0 && pkt.Kind == wire.KindTCP &&
-		(pkt.IP.ECN == wire.ECNECT0 || pkt.IP.ECN == wire.ECNECT1) &&
-		p.rate.Backlog(p.k.Now()) > sim.NSToCycles(f.MarkThresholdNS) {
-		marked := *pkt
-		marked.IP.ECN = wire.ECNCE
-		pkt = &marked
+	// ECN marking (shared AQM path, see aqm.go): an over-threshold
+	// standing queue marks ECN-capable traffic instead of growing
+	// unbounded.
+	if p.markThreshold > 0 && ecnCapable(pkt) &&
+		p.rate.Backlog(p.k.Now()) > p.markThreshold {
+		pkt = markCE(pkt)
 		p.MarkedPkts++
 		if p.trc != nil {
 			p.traceFault("pkt.mark")

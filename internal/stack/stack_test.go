@@ -538,7 +538,7 @@ func TestDCTCPOverECNMarkingLink(t *testing.T) {
 	k.Register(a)
 	k.Register(b)
 	// DCTCP-style shallow marking threshold (~1.6 us of queue ≈ 20 KB).
-	link.AtoB.SetFaults(netsim.Faults{MarkThresholdNS: 1600})
+	link.AtoB.SetAQM(netsim.ECNThreshold(1600, 0))
 
 	var srv *Conn
 	b.Listen(80, func(c *Conn) { srv = c })
