@@ -7,8 +7,9 @@
 //	f4tbench -exp all -quick      # everything, reduced sweeps
 //
 // Experiments: table1 table2 fig1 fig2 fig7b fig8 fig9 fig10 fig11
-// fig12 fig13 fig14 fig15 fig16a fig16b alg, the abl-* ablations, and
-// the topology scenarios incast fanio mixed wan
+// fig12 fig13 fig14 fig15 fig16a fig16b alg, the abl-* ablations, the
+// topology scenarios incast fanio mixed wan, and the stdlib-facade demo
+// httpload (-pcap <file> additionally writes its link capture)
 package main
 
 import (
@@ -52,6 +53,10 @@ var runners = map[string]func(quick bool) *exp.Table{
 	"fanio":  exp.ScenarioFanio,
 	"mixed":  exp.ScenarioMixed,
 	"wan":    exp.ScenarioWAN,
+
+	// Stdlib-compatibility demo: an unmodified net/http server/client
+	// pair over the netapi socket facade (DESIGN.md §14).
+	"httpload": exp.HTTPLoad,
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -59,7 +64,7 @@ var order = []string{
 	"table1", "table2", "fig1", "fig2", "fig7b", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
 	"fig16b", "alg", "abl-fpcs", "abl-coalesce", "abl-cache",
-	"incast", "fanio", "mixed", "wan",
+	"incast", "fanio", "mixed", "wan", "httpload",
 }
 
 func main() {
@@ -67,7 +72,10 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	workers := flag.Int("workers", 1, "distribute a sweep's independent rigs over N goroutines (fig9, fig13, fig16a); results are identical for any N")
 	aqm := flag.String("aqm", "", "restrict the topology scenarios to one queue discipline ("+strings.Join(exp.ScenarioAQMNames(), ", ")+"); default sweeps all")
+	pcapPath := flag.String("pcap", "", "write the httpload link capture to this pcapng file")
 	flag.Parse()
+
+	exp.SetHTTPLoadPCAP(*pcapPath)
 
 	// Fail fast on a bad discipline name instead of burning a sweep.
 	if err := exp.SetScenarioAQM(*aqm); err != nil {

@@ -10,6 +10,11 @@
 // CI runs a bounded sweep (-rig all -seeds N) as a smoke test; exit
 // status is nonzero iff any seed fails, after shrinking the failure to
 // the shortest reproducing schedule prefix.
+//
+// The extra rig "facade" sweeps the netapi socket facade instead: byte
+// exact echo streams verified through the stdlib net.Conn surface, with
+// -bytes/-shards shaping the run. -pcap writes any rig's link capture
+// for Wireshark forensics, and failure replay commands carry the flag.
 package main
 
 import (
@@ -22,15 +27,47 @@ import (
 
 func main() {
 	var (
-		rigName = flag.String("rig", "all", "rig pairing: soft-soft, engine-soft, engine-engine, or all")
+		rigName = flag.String("rig", "all", "rig pairing: soft-soft, engine-soft, engine-engine, facade, or all")
 		seed    = flag.Uint64("seed", 1, "first seed of the sweep")
 		seeds   = flag.Int("seeds", 1, "number of consecutive seeds to run")
 		phases  = flag.Int("phases", 6, "fault phases per run")
 		conns   = flag.Int("conns", 4, "concurrent connections per run")
 		chunk   = flag.Int("chunk", 4096, "application write size in bytes")
+		bytes   = flag.Int("bytes", 20000, "facade rig: payload bytes per connection")
+		shards  = flag.Int("shards", 0, "facade rig: run on a sharded fabric with this many shards")
+		pcap    = flag.String("pcap", "", "write the run's link capture to this pcapng file")
 		verbose = flag.Bool("v", false, "print per-run schedules and stats")
 	)
 	flag.Parse()
+
+	// The facade rig verifies the netapi net.Conn surface instead of the
+	// raw socket API; it has its own sweep (no phase schedule).
+	if *rigName == "facade" {
+		failures := 0
+		for s := *seed; s < *seed+uint64(*seeds); s++ {
+			cfg := conformance.FacadeConfig{
+				Seed: s, Conns: *conns, Bytes: *bytes,
+				Shards: *shards, PCAPPath: *pcap,
+			}
+			res := conformance.RunFacade(cfg)
+			if !res.Failed() {
+				fmt.Printf("%-13s seed=%-6d PASS (%d conns x %d B, end cycle %d)\n",
+					"facade", s, *conns, *bytes, res.EndCycle)
+				continue
+			}
+			failures++
+			fmt.Printf("%-13s seed=%-6d FAIL (%d violations)\n", "facade", s, len(res.Violations))
+			for _, v := range res.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+			fmt.Printf("  replay: %s\n", conformance.FacadeReplayCommand(cfg))
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "\n%d run(s) FAILED\n", failures)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rigs := conformance.AllRigs
 	if *rigName != "all" {
@@ -47,6 +84,7 @@ func main() {
 		for s := *seed; s < *seed+uint64(*seeds); s++ {
 			cfg := conformance.Config{
 				Rig: rig, Seed: s, Phases: *phases, Conns: *conns, Chunk: *chunk,
+				PCAPPath: *pcap,
 			}
 			res := conformance.Run(cfg)
 			if *verbose {

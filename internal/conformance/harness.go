@@ -5,6 +5,7 @@ import (
 
 	"f4t/internal/flow"
 	"f4t/internal/netsim"
+	"f4t/internal/pcap"
 	"f4t/internal/sim"
 )
 
@@ -23,6 +24,11 @@ type Config struct {
 	// the same config — the shard matrix test enforces it — so this knob
 	// trades nothing but wall-clock shape.
 	Shards int
+
+	// PCAPPath, when non-empty, writes the run's link capture there
+	// (both directions, drop/mark annotations in packet comments) for
+	// replay forensics in Wireshark.
+	PCAPPath string
 }
 
 // DefaultConfig is the CI smoke shape: long enough to hit every fault
@@ -113,6 +119,12 @@ func Run(cfg Config) Result {
 		sched:   NewSchedule(cfg.Seed, cfg.Phases),
 		pending: make(map[uint16]*testConn),
 	}
+	var capture *pcap.Capture
+	if cfg.PCAPPath != "" {
+		capture = pcap.New()
+		capture.TapPipe(h.rig.Link.AtoB, "chaos.ab")
+		capture.TapPipe(h.rig.Link.BtoA, "chaos.ba")
+	}
 	sink := func(v Violation) {
 		if len(h.viol) < maxViolations {
 			h.viol = append(h.viol, v)
@@ -130,6 +142,12 @@ func Run(cfg Config) Result {
 	}
 	drained := h.drain()
 	h.finalChecks(drained)
+	if capture != nil {
+		if err := capture.WriteFile(cfg.PCAPPath); err != nil {
+			sink(Violation{Invariant: "pcap-write", Endpoint: "harness",
+				Cycle: h.rig.R.Now(), Detail: err.Error()})
+		}
+	}
 
 	return Result{
 		Violations:  h.viol,

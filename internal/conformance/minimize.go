@@ -27,6 +27,10 @@ func Minimize(cfg Config, run func(Config) Result) (Config, Result, bool) {
 // ReplayCommand renders the exact command that reproduces a
 // configuration, for pasting from a failure report.
 func ReplayCommand(cfg Config) string {
-	return fmt.Sprintf("go run ./cmd/f4tconform -rig %s -seed %d -phases %d -conns %d -chunk %d",
+	s := fmt.Sprintf("go run ./cmd/f4tconform -rig %s -seed %d -phases %d -conns %d -chunk %d",
 		cfg.Rig, cfg.Seed, cfg.Phases, cfg.Conns, cfg.Chunk)
+	if cfg.PCAPPath != "" {
+		s += " -pcap " + cfg.PCAPPath
+	}
+	return s
 }

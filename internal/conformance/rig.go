@@ -403,13 +403,13 @@ func (ri *rstInjector) deliver(pkt *wire.Packet) {
 		pkt.TCP.Flags&(wire.FlagRST|wire.FlagSYN) == 0 {
 		ri.seen++
 		if ri.seen%ri.every == 0 {
-			forged := *pkt
+			forged := pkt.Clone()
 			forged.TCP.Flags = wire.FlagRST
 			forged.TCP.Seq = pkt.TCP.Seq.Add(rstDisplacement)
 			forged.TCP.Ack = 0
 			forged.PayloadLen, forged.Payload = 0, nil
 			ri.forged++
-			ri.next(&forged)
+			ri.next(forged)
 		}
 	}
 	ri.next(pkt)

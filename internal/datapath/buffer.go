@@ -49,11 +49,22 @@ func (r *Ring) ReadAt(seq seqnum.Value, length int) []byte {
 		return nil
 	}
 	out := make([]byte, length)
+	r.ReadInto(seq, out)
+	return out
+}
+
+// ReadInto copies len(buf) bytes starting at the sequence position into
+// the caller's buffer — the allocation-free form of ReadAt for hot read
+// paths that own a destination buffer (netapi's net.Conn Read). A nil
+// ring (modelled-only mode) leaves buf untouched.
+func (r *Ring) ReadInto(seq seqnum.Value, buf []byte) {
+	if r == nil || len(buf) == 0 {
+		return
+	}
 	mask := len(r.buf) - 1
 	off := int(seq) & mask
-	n := copy(out, r.buf[off:])
-	if n < length {
-		copy(out[n:], r.buf)
+	n := copy(buf, r.buf[off:])
+	if n < len(buf) {
+		copy(buf[n:], r.buf)
 	}
-	return out
 }

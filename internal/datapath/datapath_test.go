@@ -339,7 +339,7 @@ func TestGeneratorPayloadFetch(t *testing.T) {
 	var payloads [][]byte
 	g.Build(tcpproc.SendOp{Seq: 0, Len: 16, Flags: wire.FlagACK},
 		meta,
-		func(s seqnum.Value, n int) []byte { return ring.ReadAt(s, n) },
+		func(s seqnum.Value, buf []byte) { ring.ReadInto(s, buf) },
 		func(p *wire.Packet) { payloads = append(payloads, p.Payload) })
 	if len(payloads) != 2 || string(payloads[0]) != "01234567" || string(payloads[1]) != "89abcdef" {
 		t.Fatalf("fetched payloads: %q", payloads)

@@ -14,10 +14,11 @@ type FlowMeta struct {
 	PeerMAC  wire.MAC
 }
 
-// PayloadFetch reads length bytes at the given sequence from the flow's
-// TX data buffer (the DMA fetch of §4.1.2 ②). It may return nil in
-// modelled-only mode; the returned slice length must then be ignored.
-type PayloadFetch func(seq seqnum.Value, length int) []byte
+// PayloadFetch copies len(buf) bytes at the given sequence from the
+// flow's TX data buffer into buf (the DMA fetch of §4.1.2 ②). The
+// generator passes each packet's own payload slot, so the steady-state
+// TX path allocates nothing; nil fetch = modelled-only mode.
+type PayloadFetch func(seq seqnum.Value, buf []byte)
 
 // Generator is the TX packet generator: it turns FPU send requests into
 // wire packets, generating TCP/IP headers and splitting transfers larger
@@ -74,7 +75,7 @@ func (g *Generator) Build(op tcpproc.SendOp, meta FlowMeta, fetch PayloadFetch, 
 		// heap copy per segment. The engine's RX stage recycles it after
 		// the receiver has consumed the frame (see wire.PutPacket).
 		pkt := wire.GetPacket()
-		*pkt = base
+		pkt.CopyHeaderFrom(&base)
 		g.ipID++
 		pkt.IP.ID = g.ipID
 		if g.ecn && segLen > 0 {
@@ -95,7 +96,8 @@ func (g *Generator) Build(op tcpproc.SendOp, meta FlowMeta, fetch PayloadFetch, 
 		}
 		pkt.PayloadLen = int(segLen)
 		if fetch != nil && segLen > 0 {
-			pkt.Payload = fetch(seq, int(segLen))
+			pkt.Payload = pkt.PayloadSlot(int(segLen))
+			fetch(seq, pkt.Payload)
 		}
 		emit(pkt)
 		count++

@@ -402,7 +402,7 @@ func (e *Engine) newFlow(tuple wire.FourTuple, channel int, state flow.State) (*
 	}
 	if fm.txRing != nil && !e.cfg.HeaderOnly {
 		ring := fm.txRing
-		fm.fetch = func(seq seqnum.Value, n int) []byte { return ring.ReadAt(seq, n) }
+		fm.fetch = func(seq seqnum.Value, buf []byte) { ring.ReadInto(seq, buf) }
 	}
 	if !e.parser.Register(tuple, id, fm.rxRing) {
 		e.freeIDs = append(e.freeIDs, id)

@@ -323,11 +323,12 @@ func ecnCapable(pkt *wire.Packet) bool {
 		(pkt.IP.ECN == wire.ECNECT0 || pkt.IP.ECN == wire.ECNECT1)
 }
 
-// markCE returns a CE-marked shallow copy of the packet. The copy
-// matters: the sender's pipe may still deliver an aliased duplicate of
-// the original, which must keep its ECT codepoint.
+// markCE returns a CE-marked copy of the packet. The copy matters: the
+// sender's pipe may still deliver a duplicate of the original, which
+// must keep its ECT codepoint — and pooled packets own their payload
+// storage, so the fork must deep-copy (Clone), not alias.
 func markCE(pkt *wire.Packet) *wire.Packet {
-	marked := *pkt
+	marked := pkt.Clone()
 	marked.IP.ECN = wire.ECNCE
-	return &marked
+	return marked
 }

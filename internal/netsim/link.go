@@ -15,6 +15,28 @@ import (
 	"f4t/internal/wire"
 )
 
+// TapNote annotates a tapped frame with what the network element did
+// to it (bits may combine, e.g. TapSent|TapMarkCE).
+type TapNote uint16
+
+// Tap annotation bits.
+const (
+	TapSent      TapNote = 1 << iota // frame went onto the wire
+	TapDropFault                     // dropped by fault injection (loss/DropEvery/DropOnce)
+	TapDropTail                      // dropped by a queue byte/packet limit
+	TapDropAQM                       // dropped early by the AQM law (RED band, CoDel)
+	TapMarkCE                        // ECN CE mark applied
+	TapReorder                       // delivery delayed by the reorder fault
+	TapDup                           // duplicate delivery of the previous frame
+)
+
+// Tap observes frames at a network element's decision points: sends
+// (after marking), drops, and duplicates. It runs synchronously inside
+// the element's own execution context, before any packet recycling, so
+// implementations may Marshal the frame but must not retain it. nowNS
+// is the element's kernel clock.
+type Tap func(nowNS int64, pkt *wire.Packet, note TapNote)
+
 // Faults configures deterministic fault injection on one pipe direction.
 // Zero value = perfect link.
 type Faults struct {
@@ -39,6 +61,7 @@ type Pipe struct {
 	faults        Faults
 	rng           *sim.Rand
 	markThreshold int64 // backlog cycles above which ECT packets are CE-marked (SetAQM)
+	tap           Tap   // frame observer (pcap capture); nil when off
 
 	// Stats.
 	SentPkts    int64
@@ -77,6 +100,9 @@ func MinLatencyCycles(propNS int64) int64 { return sim.NSToCycles(propNS) + 1 }
 
 // SetFaults installs a fault-injection profile.
 func (p *Pipe) SetFaults(f Faults) { p.faults = f }
+
+// SetTap installs a frame observer (nil to remove).
+func (p *Pipe) SetTap(t Tap) { p.tap = t }
 
 // SetAQM installs a queue discipline on the pipe. A pipe's queue is its
 // implicit serialization backlog, so only the DCTCP step-marking subset
@@ -117,6 +143,9 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 			if p.trc != nil {
 				p.traceFault("pkt.drop")
 			}
+			if p.tap != nil {
+				p.tap(p.k.NowNS(), pkt, TapDropFault)
+			}
 			return
 		}
 	}
@@ -125,6 +154,9 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		if p.trc != nil {
 			p.traceFault("pkt.drop")
 		}
+		if p.tap != nil {
+			p.tap(p.k.NowNS(), pkt, TapDropFault)
+		}
 		return
 	}
 	if f.LossProb > 0 && p.rng.Bool(f.LossProb) {
@@ -132,8 +164,13 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		if p.trc != nil {
 			p.traceFault("pkt.drop")
 		}
+		if p.tap != nil {
+			p.tap(p.k.NowNS(), pkt, TapDropFault)
+		}
 		return
 	}
+
+	note := TapSent
 
 	// ECN marking (shared AQM path, see aqm.go): an over-threshold
 	// standing queue marks ECN-capable traffic instead of growing
@@ -145,6 +182,7 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		if p.trc != nil {
 			p.traceFault("pkt.mark")
 		}
+		note |= TapMarkCE
 	}
 
 	at := done + p.prop
@@ -154,9 +192,13 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		if p.trc != nil {
 			p.traceFault("pkt.reorder")
 		}
+		note |= TapReorder
 	}
 	if p.trc != nil {
 		p.traceSend(p.k.Now(), at, wireLen)
+	}
+	if p.tap != nil {
+		p.tap(p.k.NowNS(), pkt, note)
 	}
 	p.post.AtCall(at, p.deliverFn, pkt)
 
@@ -165,8 +207,11 @@ func (p *Pipe) Send(pkt *wire.Packet) {
 		if p.trc != nil {
 			p.traceFault("pkt.dup")
 		}
-		dup := *pkt
-		p.post.AtCall(at+1, p.deliverFn, &dup)
+		dup := pkt.Clone()
+		if p.tap != nil {
+			p.tap(p.k.NowNS(), dup, TapSent|TapDup)
+		}
+		p.post.AtCall(at+1, p.deliverFn, dup)
 	}
 }
 

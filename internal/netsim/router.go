@@ -94,6 +94,7 @@ type RouterPort struct {
 	head      int
 	qBytes    int64
 	busyUntil int64 // serializer-free cycle; 0 when idle
+	tap       Tap   // frame observer (pcap capture); nil when off
 
 	// Stats. FirstCongCycle records the first drop or mark (-1 until
 	// one happens) — the "onset" the AQM comparison tests assert on.
@@ -128,6 +129,11 @@ func newRouterPort(k *sim.Kernel, post sim.Poster, name string, gbps, propNS int
 // topology construction, like Pipe.SetSink).
 func (p *RouterPort) SetSink(deliver func(*wire.Packet)) { p.sink = deliver }
 
+// SetTap installs a frame observer (nil to remove). Drops are tapped
+// at decision time (enqueue or dequeue), sends when serialization
+// starts, both with the port's marks applied.
+func (p *RouterPort) SetTap(t Tap) { p.tap = t }
+
 // QueuedBytes returns the current queue depth in bytes (excluding the
 // packet being serialized).
 func (p *RouterPort) QueuedBytes() int64 { return p.qBytes }
@@ -158,12 +164,17 @@ func (p *RouterPort) enqueue(pkt *wire.Packet) {
 	case admitDrop:
 		// Tail drops and early drops are told apart by whether the
 		// arrival would have fit under the byte limit.
+		note := TapDropAQM
 		if p.disc.cfg.LimitBytes > 0 && p.qBytes+wireLen > p.disc.cfg.LimitBytes {
 			p.TailDrops++
+			note = TapDropTail
 		} else {
 			p.AQMDrops++
 		}
 		p.congestion()
+		if p.tap != nil {
+			p.tap(now*sim.CycleNS, pkt, note)
+		}
 		return
 	case admitMark:
 		pkt = markCE(pkt)
@@ -193,19 +204,27 @@ func (p *RouterPort) Tick(cycle int64) {
 		p.head++
 		p.qBytes -= e.wireLen
 		sojournNS := (cycle - e.enqAt) * sim.CycleNS
+		note := TapSent
 		switch p.disc.admitDequeue(cycle*sim.CycleNS, sojournNS, p.qBytes, ecnCapable(e.pkt)) {
 		case admitDrop:
 			p.AQMDrops++
 			p.congestion()
+			if p.tap != nil {
+				p.tap(cycle*sim.CycleNS, e.pkt, TapDropAQM)
+			}
 			continue // examine the next head this same cycle
 		case admitMark:
 			e.pkt = markCE(e.pkt)
 			p.MarkedPkts++
 			p.congestion()
+			note |= TapMarkCE
 		}
 		p.DeqPkts++
 		done := p.rate.Reserve(cycle, e.wireLen)
 		p.busyUntil = done
+		if p.tap != nil {
+			p.tap(cycle*sim.CycleNS, e.pkt, note)
+		}
 		p.post.AtCall(done+p.prop, p.deliverFn, e.pkt)
 	}
 	if p.head == len(p.q) {

@@ -1,0 +1,115 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame is one decoded Enhanced Packet Block.
+type Frame struct {
+	Interface string // if_name of the tap the frame was captured on
+	TsNS      int64
+	Data      []byte
+	Comment   string // drop/mark annotation ("" for a plain send)
+}
+
+// ReadFile decodes a pcapng capture written by this package (or any
+// single-section little-endian pcapng file) into its frames. It exists
+// so tests can verify captures frame-for-frame without external tools;
+// tshark remains the cross-check for interoperability.
+func ReadFile(r io.Reader) ([]Frame, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		frames []Frame
+		ifaces []string
+		off    int
+	)
+	for off+12 <= len(data) {
+		blockType := binary.LittleEndian.Uint32(data[off:])
+		total := int(binary.LittleEndian.Uint32(data[off+4:]))
+		if total < 12 || total%4 != 0 || off+total > len(data) {
+			return nil, fmt.Errorf("pcap: bad block length %d at offset %d", total, off)
+		}
+		body := data[off+8 : off+total-4]
+		tail := int(binary.LittleEndian.Uint32(data[off+total-4:]))
+		if tail != total {
+			return nil, fmt.Errorf("pcap: trailing length mismatch at offset %d", off)
+		}
+		switch blockType {
+		case blockSHB:
+			if len(body) < 4 || binary.LittleEndian.Uint32(body) != byteOrderMagic {
+				return nil, fmt.Errorf("pcap: big-endian or corrupt section header")
+			}
+		case blockIDB:
+			if len(body) < 8 {
+				return nil, fmt.Errorf("pcap: short interface block")
+			}
+			name, _ := findOption(body[8:], optIfName)
+			ifaces = append(ifaces, string(name))
+		case blockEPB:
+			if len(body) < 20 {
+				return nil, fmt.Errorf("pcap: short packet block")
+			}
+			ifIdx := binary.LittleEndian.Uint32(body)
+			ts := int64(binary.LittleEndian.Uint32(body[4:]))<<32 |
+				int64(binary.LittleEndian.Uint32(body[8:]))
+			capLen := int(binary.LittleEndian.Uint32(body[12:]))
+			if 20+capLen > len(body) {
+				return nil, fmt.Errorf("pcap: packet data overruns block")
+			}
+			f := Frame{
+				TsNS: ts,
+				Data: body[20 : 20+capLen],
+			}
+			if int(ifIdx) < len(ifaces) {
+				f.Interface = ifaces[ifIdx]
+			}
+			optOff := 20 + capLen
+			for optOff%4 != 0 {
+				optOff++
+			}
+			if optOff < len(body) {
+				if c, ok := findOption(body[optOff:], optComment); ok {
+					f.Comment = string(c)
+				}
+			}
+			frames = append(frames, f)
+		}
+		off += total
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("pcap: %d trailing bytes after last block", len(data)-off)
+	}
+	return frames, nil
+}
+
+// findOption scans a pcapng option list for the first option with the
+// given code.
+func findOption(opts []byte, code uint16) ([]byte, bool) {
+	for len(opts) >= 4 {
+		c := binary.LittleEndian.Uint16(opts)
+		l := int(binary.LittleEndian.Uint16(opts[2:]))
+		if c == optEndOfOpt {
+			return nil, false
+		}
+		if 4+l > len(opts) {
+			return nil, false
+		}
+		if c == code {
+			return opts[4 : 4+l], true
+		}
+		adv := 4 + l
+		for adv%4 != 0 {
+			adv++
+		}
+		if adv > len(opts) {
+			return nil, false
+		}
+		opts = opts[adv:]
+	}
+	return nil, false
+}

@@ -84,9 +84,11 @@ func (l *Lib) post(cmd hostif.Command) bool {
 
 // Listen registers this thread as an acceptor for the port
 // (SO_REUSEPORT: several threads may listen on the same port, §4.6).
-func (l *Lib) Listen(port uint16) {
+// It reports whether the listen command was posted (false = command
+// queue full; the caller retries, as netapi's effect pass does).
+func (l *Lib) Listen(port uint16) bool {
 	l.listeners[port] = true
-	l.post(hostif.Command{Op: hostif.OpListen, LocalPort: port})
+	return l.post(hostif.Command{Op: hostif.OpListen, LocalPort: port})
 }
 
 // Dial starts an active open and returns the socket (not yet
@@ -335,14 +337,87 @@ func (s *Socket) Recv(max int) ([]byte, int) {
 	return out, n
 }
 
-// Close posts an orderly shutdown.
-func (s *Socket) Close() {
+// The split-effect surface below separates each Send/Recv into its
+// pure-copy half and its command-posting half. netapi's blocking bridge
+// needs the split: ring copies are invisible to the simulation (the
+// engine never reads TX bytes beyond the posted REQ pointer, never
+// rewrites RX bytes below the delivered pointer), so the facade performs
+// them immediately while simulated time is frozen, but defers the
+// pointer-advancing command posts into one deterministic per-tick pass.
+
+// Anchored reports whether the byte-stream pointers are fixed (the
+// handshake completed and anchored both ISNs).
+func (s *Socket) Anchored() bool { return s.anchored }
+
+// WritePtr returns the next send byte the app will queue.
+func (s *Socket) WritePtr() seqnum.Value { return s.writePtr }
+
+// AckedTo returns the device-released send boundary.
+func (s *Socket) AckedTo() seqnum.Value { return s.ackedTo }
+
+// ReadPtr returns the next received byte the app will consume.
+func (s *Socket) ReadPtr() seqnum.Value { return s.readPtr }
+
+// DeliveredTo returns the device-announced in-order boundary.
+func (s *Socket) DeliveredTo() seqnum.Value { return s.deliveredTo }
+
+// ReadAt copies delivered bytes starting at ptr into buf without
+// consuming them (the consume is PostRecv). The caller must keep
+// [ptr, ptr+len(buf)) within [readPtr, deliveredTo).
+func (s *Socket) ReadAt(ptr seqnum.Value, buf []byte) {
+	if ring := s.lib.eng.RxRing(s.ID); ring != nil {
+		ring.ReadInto(ptr, buf)
+	}
+}
+
+// WriteAt stages payload bytes into the TX ring at ptr without posting a
+// send command (that is PostSend). The caller must keep the staged span
+// within the free send space above writePtr.
+func (s *Socket) WriteAt(ptr seqnum.Value, data []byte) {
+	if ring := s.lib.eng.TxRing(s.ID); ring != nil {
+		ring.WriteAt(ptr, data)
+	}
+}
+
+// PostSend advances the REQ pointer to ptr with one Send command
+// (payload already staged via WriteAt). Reports false when the command
+// queue is full; the caller retries with the same ptr.
+func (s *Socket) PostSend(ptr seqnum.Value) bool {
+	if !s.Established || s.Closed || s.closeSent || ptr == s.writePtr {
+		return true // nothing to do (or no longer possible: don't spin)
+	}
+	if !s.lib.post(hostif.Command{Op: hostif.OpSend, Flow: s.ID, Ptr: ptr}) {
+		return false
+	}
+	s.writePtr = ptr
+	return true
+}
+
+// PostRecv advances the consumed pointer to ptr with one Recv command,
+// re-opening the advertised window (bytes up to ptr were already copied
+// out via ReadAt). Reports false when the command queue is full.
+func (s *Socket) PostRecv(ptr seqnum.Value) bool {
+	if s.Closed || ptr == s.readPtr {
+		return true
+	}
+	if !s.lib.post(hostif.Command{Op: hostif.OpRecv, Flow: s.ID, Ptr: ptr}) {
+		return false
+	}
+	s.readPtr = ptr
+	return true
+}
+
+// Close posts an orderly shutdown. It reports whether the close is in
+// flight (or already done); false means the command queue was full and
+// the caller should retry.
+func (s *Socket) Close() bool {
 	if s.closeSent || s.Closed {
-		return
+		return true
 	}
 	if s.lib.post(hostif.Command{Op: hostif.OpClose, Flow: s.ID}) {
 		s.closeSent = true
 	}
+	return s.closeSent
 }
 
 // Abort posts an immediate reset.

@@ -16,7 +16,7 @@ type rig struct {
 	la, lb   *Lib
 }
 
-func newRig(t *testing.T, channels int) *rig {
+func newRig(t testing.TB, channels int) *rig {
 	t.Helper()
 	k := sim.New()
 	link := netsim.NewLink(k, 100, 600, 11)

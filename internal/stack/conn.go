@@ -141,6 +141,63 @@ func (c *Conn) Recv(max int) ([]byte, int) {
 	return out, n
 }
 
+// The split-effect surface below mirrors softstack.Socket's: pure ring
+// copies that are invisible to the simulation, separated from the
+// Inject calls that advance protocol state. netapi performs the copies
+// while simulated time is frozen and defers the Injects into one
+// deterministic per-tick pass. Valid only once Established (pointers
+// anchored).
+
+// WritePtr returns the next send byte the app will queue.
+func (c *Conn) WritePtr() seqnum.Value { c.initPtrs(); return c.writePtr }
+
+// ReadPtr returns the next received byte the app will consume.
+func (c *Conn) ReadPtr() seqnum.Value { c.initPtrs(); return c.readPtr }
+
+// ReadAt copies delivered bytes starting at ptr into buf without
+// consuming them (the consume is PostRecv). The caller must keep
+// [ptr, ptr+len(buf)) within [readPtr, DeliveredTo).
+func (c *Conn) ReadAt(ptr seqnum.Value, buf []byte) {
+	if ring := c.ep.parser.Ring(c.ID); ring != nil {
+		ring.ReadInto(ptr, buf)
+	}
+}
+
+// WriteAt stages payload bytes into the TX ring at ptr without injecting
+// a user event (that is PostSend). The staged span must lie within the
+// free send space above writePtr.
+func (c *Conn) WriteAt(ptr seqnum.Value, data []byte) {
+	if c.txRing != nil {
+		c.txRing.WriteAt(ptr, data)
+	}
+}
+
+// PostSend advances the REQ pointer to ptr with one user event (payload
+// already staged via WriteAt). Always succeeds — the software stack has
+// no command queue to fill; the bool return matches the softstack shape.
+func (c *Conn) PostSend(ptr seqnum.Value) bool {
+	if c.freed || c.closeCalled || ptr == c.writePtr {
+		return true
+	}
+	c.writePtr = ptr
+	ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, HasReq: true, Req: ptr}
+	c.ep.Inject(c, &ev)
+	return true
+}
+
+// PostRecv advances the consumed pointer to ptr, re-opening the
+// advertised window (bytes up to ptr were already copied out via
+// ReadAt).
+func (c *Conn) PostRecv(ptr seqnum.Value) bool {
+	if c.freed || ptr == c.readPtr {
+		return true
+	}
+	c.readPtr = ptr
+	ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, HasRead: true, AppRead: ptr}
+	c.ep.Inject(c, &ev)
+	return true
+}
+
 // Close initiates an orderly shutdown (FIN after queued data).
 func (c *Conn) Close() {
 	if c.freed || c.closeCalled {

@@ -240,7 +240,7 @@ func (e *Endpoint) emitSegment(c *Conn, op *tcpproc.SendOp) {
 	var fetch datapath.PayloadFetch
 	if c.txRing != nil {
 		ring := c.txRing
-		fetch = func(seq seqnum.Value, n int) []byte { return ring.ReadAt(seq, n) }
+		fetch = func(seq seqnum.Value, buf []byte) { ring.ReadInto(seq, buf) }
 	}
 	if !ok {
 		// Build the packets now but park them until the ARP reply.

@@ -102,6 +102,14 @@ type Queue struct {
 	minValid bool
 
 	scratch []entry // due-entry collection buffer, reused across Expires
+
+	// freeArrs recycles the backing arrays of emptied slots. Without it
+	// the wheel never reaches an allocation-free steady state: timer
+	// deadlines drift in phase relative to the 256-slot rings, so arms
+	// keep landing in never-before-occupied slots (a fresh append-growth
+	// each time) even after millions of cycles. A swept-empty slot
+	// donates its array here; insert adopts one for a bare slot.
+	freeArrs [][]entry
 }
 
 // New returns an empty timer queue.
@@ -153,6 +161,13 @@ func (q *Queue) insert(e entry) {
 			if len(lv.slots[idx]) == 0 {
 				lv.setOcc(idx)
 				lv.mins[idx] = e.at
+				if cap(lv.slots[idx]) == 0 {
+					if k := len(q.freeArrs) - 1; k >= 0 {
+						lv.slots[idx] = q.freeArrs[k]
+						q.freeArrs[k] = nil
+						q.freeArrs = q.freeArrs[:k]
+					}
+				}
 			} else if e.at < lv.mins[idx] {
 				lv.mins[idx] = e.at
 			}
@@ -280,10 +295,17 @@ func (q *Queue) sweep(l int, prev, now int64, due []entry) []entry {
 				kept = append(kept, e)
 			}
 		}
-		lv.slots[idx] = kept
 		if len(kept) == 0 {
 			lv.clearOcc(idx)
+			// Donate the emptied slot's array so the next bare slot —
+			// likely at a different ring position — reuses it instead of
+			// growing from nil.
+			lv.slots[idx] = nil
+			if cap(kept) > 0 {
+				q.freeArrs = append(q.freeArrs, kept)
+			}
 		} else {
+			lv.slots[idx] = kept
 			lv.mins[idx] = kmin
 		}
 	}

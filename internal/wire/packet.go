@@ -37,6 +37,56 @@ type Packet struct {
 	// crosses PCIe nor occupies link bandwidth, so WireLen counts only
 	// the headers.
 	HeaderOnly bool
+
+	// payloadBuf is the packet's own payload storage, kept across pool
+	// recycling (see PayloadSlot). Aliasing it from another packet is
+	// forbidden: bytes here have exactly this packet's lifetime.
+	payloadBuf []byte
+}
+
+// payloadCap sizes the pooled payload slot: one MSS on a standard
+// 1500-byte MTU, with headroom.
+const payloadCap = 2048
+
+// PayloadSlot returns n bytes of the packet's own payload storage —
+// the allocation-free way to attach TX payload to a pooled packet. The
+// slot is part of the pooled allocation and survives PutPacket, so the
+// steady-state data path reuses it instead of allocating per segment.
+// Oversized requests fall back to a heap slice.
+func (p *Packet) PayloadSlot(n int) []byte {
+	if n > payloadCap {
+		return make([]byte, n)
+	}
+	if p.payloadBuf == nil {
+		p.payloadBuf = make([]byte, payloadCap)
+	}
+	return p.payloadBuf[:n]
+}
+
+// CopyHeaderFrom overwrites every field from the template while keeping
+// the packet's own payload slot (a plain struct copy would leak the
+// slot and, worse, alias the template's).
+func (p *Packet) CopyHeaderFrom(t *Packet) {
+	slot := p.payloadBuf
+	*p = *t
+	p.payloadBuf = slot
+}
+
+// Clone returns an independent copy of the packet with a private copy
+// of the payload bytes in the clone's own slot. Every place a frame
+// forks (link duplication, CE re-marking, forged injections) must use
+// Clone rather than a struct copy: pooled packets own their payload
+// storage, and an aliased payload turns into someone else's bytes as
+// soon as the original is recycled.
+func (p *Packet) Clone() *Packet {
+	c := GetPacket()
+	c.CopyHeaderFrom(p)
+	c.Payload = nil
+	if p.PayloadLen > 0 && p.Payload != nil {
+		c.Payload = c.PayloadSlot(p.PayloadLen)
+		copy(c.Payload, p.Payload[:p.PayloadLen])
+	}
+	return c
 }
 
 // FrameLen returns the Ethernet frame length (headers + payload + FCS),

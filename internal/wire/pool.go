@@ -22,10 +22,14 @@ func GetPacket() *Packet {
 // PutPacket recycles a packet. The struct is cleared first — in
 // particular Payload is dropped, so a reply that aliased the request's
 // payload slice (ICMP echo) keeps sole ownership of the backing array.
+// The packet's own payload slot is kept: it is part of the pooled
+// allocation (see PayloadSlot) and gets overwritten by the next owner.
 func PutPacket(p *Packet) {
 	if p == nil {
 		return
 	}
+	slot := p.payloadBuf
 	*p = Packet{}
+	p.payloadBuf = slot
 	pktPool.Put(p)
 }
