@@ -8,8 +8,9 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig7b fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16a fig16b alg, the abl-* ablations, the
-// topology scenarios incast fanio mixed wan, and the stdlib-facade demo
-// httpload (-pcap <file> additionally writes its link capture)
+// topology scenarios incast fanio mixed wan, the stdlib-facade demo
+// httpload (-pcap <file> additionally writes its link capture), and the
+// churn flow-scale stress (2^20 concurrent connections)
 package main
 
 import (
@@ -57,6 +58,11 @@ var runners = map[string]func(quick bool) *exp.Table{
 	// Stdlib-compatibility demo: an unmodified net/http server/client
 	// pair over the netapi socket facade (DESIGN.md §14).
 	"httpload": exp.HTTPLoad,
+
+	// Flow-scale stress: ramp to 2^20 concurrent connections (2^17 with
+	// -quick) and sustain the plateau under heavy-tailed
+	// departure/replacement churn (DESIGN.md §15).
+	"churn": exp.Churn,
 }
 
 // order fixes the presentation sequence for -exp all.
@@ -64,7 +70,7 @@ var order = []string{
 	"table1", "table2", "fig1", "fig2", "fig7b", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
 	"fig16b", "alg", "abl-fpcs", "abl-coalesce", "abl-cache",
-	"incast", "fanio", "mixed", "wan", "httpload",
+	"incast", "fanio", "mixed", "wan", "httpload", "churn",
 }
 
 func main() {

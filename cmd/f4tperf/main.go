@@ -89,8 +89,9 @@ func runTrace(out string, cycles int64) {
 // process fails if the skip fast path stopped engaging — a
 // machine-independent floor (PR 1 recorded ~9.5x on the echo rig, so 2x
 // leaves generous noise headroom) — if the saturated bulk path starts
-// allocating per cycle or slows past a loose wall ceiling, or if enabled
-// telemetry more than doubles the echo run.
+// allocating per cycle or slows past a loose wall ceiling, if enabled
+// telemetry more than doubles the echo run, or if the per-flow memory
+// footprint of the flow-scale points regresses (schema/5).
 func runKernelBench(quick, guard bool, shards int, out string) {
 	res := exp.RunKernelBench(quick, shards)
 	for _, e := range res.Entries {
@@ -108,6 +109,12 @@ func runKernelBench(quick, guard bool, shards int, out string) {
 		fmt.Printf("%-22s %d workers on %d CPUs: %8.2f ms wall (serial %8.2f ms)  %5.2fx  identical=%v\n",
 			s.Workload, s.Workers, s.HostCPUs,
 			float64(s.WallNSSharded)/1e6, float64(s.WallNSSerial)/1e6, s.Speedup, s.Identical)
+	}
+	for _, p := range res.FlowScale {
+		fmt.Printf("flow-scale %8d flows  reached=%-5v ramp %8d cyc  %4.0f B/flow accounted (%5.0f heap)  %6.0f ns/cyc  table %d slots/%d resizes\n",
+			p.Flows, p.Reached, p.RampCycles,
+			p.BytesPerFlowAccounted, p.BytesPerFlowHeap,
+			p.NSPerSteppedCycle, p.TableSlots, p.TableResizes)
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -175,6 +182,28 @@ func runKernelBench(quick, guard bool, shards int, out string) {
 			}
 			if par >= 3 && s.Speedup < 2.0 {
 				fmt.Fprintf(os.Stderr, "guard: sharded sweep speedup %.2fx < 2.0x on %d-way host\n", s.Speedup, par)
+				failed = true
+			}
+		}
+		for _, p := range res.FlowScale {
+			if !p.Reached {
+				fmt.Fprintf(os.Stderr, "guard: flow-scale %d never reached its target within the ramp budget\n", p.Flows)
+				failed = true
+				continue
+			}
+			// Per-flow control state is machine-independent: the accounted
+			// footprint (TCB + flow-table entry + reassembler) measures
+			// ~650 B/flow, so 1300 B means a per-flow structure doubled or
+			// an arena stopped being shared. The whole-rig heap number
+			// includes both sides plus bookkeeping (~4x the accounted
+			// server state); past 16 KB/flow something is leaking
+			// per-connection.
+			if p.BytesPerFlowAccounted > 1300 {
+				fmt.Fprintf(os.Stderr, "guard: flow-scale %d flows: %.0f accounted bytes/flow > 1300 — per-flow footprint regressed\n", p.Flows, p.BytesPerFlowAccounted)
+				failed = true
+			}
+			if p.BytesPerFlowHeap > 16384 {
+				fmt.Fprintf(os.Stderr, "guard: flow-scale %d flows: %.0f heap bytes/flow > 16384 — per-connection leak\n", p.Flows, p.BytesPerFlowHeap)
 				failed = true
 			}
 		}

@@ -1,6 +1,8 @@
 package datapath
 
 import (
+	"unsafe"
+
 	"f4t/internal/flow"
 	"f4t/internal/seqnum"
 	"f4t/internal/wire"
@@ -8,7 +10,10 @@ import (
 
 // parserFlow is the RX parser's per-flow shadow state: the reassembler,
 // the last ACK/window seen (for duplicate-ACK detection), and the receive
-// ring the parser DMAs payloads into (§4.1.2 RX data path).
+// ring the parser DMAs payloads into (§4.1.2 RX data path). The
+// reassembler is embedded (reasmStore) so one arena slot carries the
+// whole per-flow footprint; reasm points at it once the SYN anchors the
+// in-order boundary, and stays nil before that.
 type parserFlow struct {
 	id      flow.ID
 	reasm   *Reassembler
@@ -20,6 +25,47 @@ type parserFlow struct {
 	rcvBuf  uint32
 	finSeen bool
 	finSeq  seqnum.Value
+
+	reasmStore Reassembler
+}
+
+// pfArenaChunk is the parser-flow arena granularity.
+const pfArenaChunk = 256
+
+// pfArena bump-allocates parserFlows in chunks and recycles released
+// slots through a free list. Unlike the engine's TCB arena, reuse is
+// safe here: nothing outside the parser retains a *parserFlow, and
+// Deregister is the single release point. Recycled slots keep their
+// reassembler's chunk buffers, so long-lived endpoints stop allocating
+// per-connection once the churn working set is warm.
+type pfArena struct {
+	chunk  []parserFlow
+	used   int
+	free   []*parserFlow
+	chunks int64 // chunks ever allocated (memory accounting)
+}
+
+func (a *pfArena) alloc() *parserFlow {
+	if n := len(a.free); n > 0 {
+		pf := a.free[n-1]
+		a.free = a.free[:n-1]
+		return pf
+	}
+	if a.used == len(a.chunk) {
+		a.chunk = make([]parserFlow, pfArenaChunk)
+		a.used = 0
+		a.chunks++
+	}
+	pf := &a.chunk[a.used]
+	a.used++
+	return pf
+}
+
+func (a *pfArena) release(pf *parserFlow) {
+	chunks, scratch := pf.reasmStore.chunks[:0], pf.reasmStore.scratch[:0]
+	*pf = parserFlow{}
+	pf.reasmStore.chunks, pf.reasmStore.scratch = chunks, scratch
+	a.free = append(a.free, pf)
 }
 
 // ParseResult is what the RX parser hands the control path for one TCP
@@ -36,15 +82,18 @@ type ParseResult struct {
 type Parser struct {
 	table    *CuckooTable
 	flows    map[flow.ID]*parserFlow
+	arena    pfArena
 	wndScale uint8
 	rcvBuf   uint32
 }
 
-// NewParser returns a parser sized for maxFlows concurrent connections.
+// NewParser returns a parser that accepts up to maxFlows concurrent
+// connections. Storage (flow table, per-flow arena) starts small and
+// grows with registrations, so the bound can be generous.
 func NewParser(maxFlows int, rcvBuf uint32, wndScale uint8, seed uint64) *Parser {
 	return &Parser{
 		table:    NewCuckooTable(maxFlows, seed),
-		flows:    make(map[flow.ID]*parserFlow, maxFlows),
+		flows:    make(map[flow.ID]*parserFlow),
 		wndScale: wndScale,
 		rcvBuf:   rcvBuf,
 	}
@@ -57,13 +106,19 @@ func (p *Parser) Register(t wire.FourTuple, id flow.ID, ring *Ring) bool {
 	if !p.table.Insert(t, id) {
 		return false
 	}
-	p.flows[id] = &parserFlow{id: id, ring: ring, rcvBuf: p.rcvBuf}
+	pf := p.arena.alloc()
+	pf.id, pf.ring, pf.rcvBuf = id, ring, p.rcvBuf
+	p.flows[id] = pf
 	return true
 }
 
-// Deregister removes a flow from the lookup table.
+// Deregister removes a flow from the lookup table and recycles its
+// arena slot.
 func (p *Parser) Deregister(t wire.FourTuple, id flow.ID) {
 	p.table.Delete(t)
+	if pf := p.flows[id]; pf != nil {
+		p.arena.release(pf)
+	}
 	delete(p.flows, id)
 }
 
@@ -79,6 +134,33 @@ func (p *Parser) Ring(id flow.ID) *Ring {
 		return f.ring
 	}
 	return nil
+}
+
+// TableStats exposes the flow table's occupancy counters.
+func (p *Parser) TableStats() CuckooStats { return p.table.Stats() }
+
+// ParserMem is the parser's allocated per-flow footprint.
+type ParserMem struct {
+	TableEntries int64 // resident flow-table entries
+	TableBytes   int64 // flow-table slots + stash (allocated, not just used)
+	FlowCount    int64 // registered flows
+	FlowBytes    int64 // parser-flow arena chunks (embedded reassemblers included)
+	ReasmBytes   int64 // out-of-order chunk buffers beyond the embedded structs
+}
+
+// Mem reports the parser's memory accounting. The reassembler scan is
+// O(flows); call it from snapshots, not per packet.
+func (p *Parser) Mem() ParserMem {
+	m := ParserMem{
+		TableEntries: int64(p.table.Len()),
+		TableBytes:   p.table.MemBytes(),
+		FlowCount:    int64(len(p.flows)),
+		FlowBytes:    p.arena.chunks * pfArenaChunk * int64(unsafe.Sizeof(parserFlow{})),
+	}
+	for _, pf := range p.flows {
+		m.ReasmBytes += pf.reasmStore.MemBytes()
+	}
+	return m
 }
 
 // Parse digests one received TCP packet into a control-path event,
@@ -119,7 +201,8 @@ func (p *Parser) Parse(pkt *wire.Packet) ParseResult {
 		ev.Coalescable = false
 		if !pf.synSeen {
 			pf.synSeen = true
-			pf.reasm = NewReassembler(hdr.Seq.Add(1))
+			pf.reasmStore.Reset(hdr.Seq.Add(1))
+			pf.reasm = &pf.reasmStore
 		}
 	}
 

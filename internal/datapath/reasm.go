@@ -1,6 +1,10 @@
 package datapath
 
-import "f4t/internal/seqnum"
+import (
+	"unsafe"
+
+	"f4t/internal/seqnum"
+)
 
 // chunk is a contiguous received byte range [start, end) beyond the
 // in-order boundary.
@@ -31,6 +35,21 @@ type InsertResult struct {
 // (peer ISN + 1).
 func NewReassembler(rcvNxt seqnum.Value) *Reassembler {
 	return &Reassembler{rcvNxt: rcvNxt}
+}
+
+// Reset re-anchors the reassembler at a new in-order boundary, keeping
+// its chunk buffers for reuse (the parser-flow arena recycles embedded
+// reassemblers across connections).
+func (r *Reassembler) Reset(rcvNxt seqnum.Value) {
+	r.rcvNxt = rcvNxt
+	r.chunks = r.chunks[:0]
+	r.scratch = r.scratch[:0]
+}
+
+// MemBytes returns the out-of-order bookkeeping footprint beyond the
+// struct itself: the capacity of both chunk buffers.
+func (r *Reassembler) MemBytes() int64 {
+	return int64(cap(r.chunks)+cap(r.scratch)) * int64(unsafe.Sizeof(chunk{}))
 }
 
 // RcvNxt returns the current in-order boundary.

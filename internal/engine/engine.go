@@ -12,6 +12,7 @@ package engine
 
 import (
 	"fmt"
+	"unsafe"
 
 	"f4t/internal/cc"
 	"f4t/internal/datapath"
@@ -115,18 +116,26 @@ const tcbArenaChunk = 256
 // cost is one allocation per tcbArenaChunk connections instead of one
 // per connection.
 type tcbArena struct {
-	chunk []flow.TCB
-	off   int
+	chunk  []flow.TCB
+	off    int
+	chunks int64 // chunks ever allocated (memory accounting)
 }
 
 func (a *tcbArena) alloc() *flow.TCB {
 	if a.off >= len(a.chunk) {
 		a.chunk = make([]flow.TCB, tcbArenaChunk)
 		a.off = 0
+		a.chunks++
 	}
 	t := &a.chunk[a.off]
 	a.off++
 	return t
+}
+
+// memBytes is the arena's allocated footprint (live and dead chunks;
+// dead TCBs pin their chunk by design, so this is the honest number).
+func (a *tcbArena) memBytes() int64 {
+	return a.chunks * tcbArenaChunk * int64(unsafe.Sizeof(flow.TCB{}))
 }
 
 type listener struct {
@@ -190,6 +199,7 @@ type Engine struct {
 	CmdsProcessed   sim.Counter
 	CompletionsSent sim.Counter
 	FlowsAccepted   sim.Counter
+	FlowsRejected   sim.Counter // opens refused because the flow table/ID space is exhausted
 	RetransSegs     sim.Counter // segments re-sent (loss recovery + RTO)
 	OowRstDrops     sim.Counter // inbound RSTs dropped by sequence validation
 
@@ -562,7 +572,13 @@ func (e *Engine) execCommand(ch *hostif.Channel, cmd hostif.Command) {
 		}
 		fm, ok := e.newFlow(tuple, chIdx, flow.StateClosed)
 		if !ok {
-			e.queueCompletion(chIdx, hostif.Completion{Kind: hostif.CompReset, Flow: cmd.Flow})
+			// Flow table or ID space exhausted: the open aborts cleanly —
+			// the host sees a reset completion, telemetry counts the drop.
+			// No hardware flow ID exists yet, so the completion carries the
+			// local port: that is the handle the library correlates active
+			// opens by (same correlation as CompAccepted).
+			e.FlowsRejected.Inc()
+			e.queueCompletion(chIdx, hostif.Completion{Kind: hostif.CompReset, Port: cmd.LocalPort})
 			return
 		}
 		// The host pre-names the flow: it chose cmd.Flow as a handle. The
@@ -655,7 +671,15 @@ func (e *Engine) handleRx(pkt *wire.Packet) {
 				l.next++
 				fm, ok := e.newFlow(pkt.Tuple(), ch, flow.StateListen)
 				if !ok {
-					e.RxNoFlow.Inc()
+					// Table full: refuse the open loudly. The RST tells the
+					// client immediately (instead of letting its SYN
+					// retransmit into the void), and the counter makes the
+					// rejection observable — a silently dropped SYN at scale
+					// looks exactly like the old victim-loss bug.
+					e.FlowsRejected.Inc()
+					if rst := datapath.OrphanRST(pkt, e.cfg.IP, e.cfg.MAC); rst != nil {
+						e.transmit(rst)
+					}
 					return
 				}
 				fm.meta.PeerMAC = pkt.Eth.Src

@@ -20,6 +20,7 @@ func (e *Engine) Instrument(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".cmds_processed", &e.CmdsProcessed)
 	reg.Counter(prefix+".completions_sent", &e.CompletionsSent)
 	reg.Counter(prefix+".flows_accepted", &e.FlowsAccepted)
+	reg.Counter(prefix+".flows_rejected", &e.FlowsRejected)
 	reg.Counter(prefix+".retrans_segs", &e.RetransSegs)
 	reg.Counter(prefix+".oow_rst_drops", &e.OowRstDrops)
 	reg.Gauge(prefix+".flows", func() int64 { return int64(len(e.flows)) })
@@ -34,6 +35,28 @@ func (e *Engine) Instrument(reg *telemetry.Registry, prefix string) {
 	for i, ch := range e.Channels {
 		ch.Instrument(reg, fmt.Sprintf("%s.ch%d", prefix, i))
 	}
+}
+
+// InstrumentMem registers the engine's per-flow memory probes on a
+// footprint accountant: the TCB arena, the parser's flow table, the
+// parser-flow arena (embedded reassemblers included) and out-of-order
+// reassembly buffers. Probes are evaluated only at snapshot time.
+func (e *Engine) InstrumentMem(fp *telemetry.Footprint, prefix string) {
+	fp.Add(prefix+".tcb_arena", func() (int64, int64) {
+		return int64(len(e.flows)), e.tcbs.memBytes()
+	})
+	fp.Add(prefix+".flow_table", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.TableEntries, m.TableBytes
+	})
+	fp.Add(prefix+".parser_flows", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.FlowCount, m.FlowBytes
+	})
+	fp.Add(prefix+".reasm", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.FlowCount, m.ReasmBytes
+	})
 }
 
 // SetTracer attaches a trace ring to the engine and its sub-units.

@@ -114,6 +114,8 @@ func Fig13Workers(quick bool, workers int) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: F4T is 20× Linux at 1K flows; at 64K flows 12× (DDR) and 44× (HBM)",
-		"paper: the DDR curve drops past 1,024 flows (FPC capacity) — DRAM-bandwidth throttled")
+		"paper: the DDR curve drops past 1,024 flows (FPC capacity) — DRAM-bandwidth throttled",
+		"the flow axis continues past 65,536 (one address pair's port ceiling) in the",
+		"kernelbench flow_scale section (f4tperf -bench, schema/5) and -exp churn (2^20)")
 	return t
 }

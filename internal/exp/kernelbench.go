@@ -10,6 +10,7 @@ import (
 	"f4t/internal/cpu"
 	"f4t/internal/engine"
 	"f4t/internal/sim"
+	"f4t/internal/telemetry"
 )
 
 // This file is the kernel perf-regression harness: it times identical
@@ -50,9 +51,12 @@ type KernelBenchEntry struct {
 }
 
 // KernelBench is the harness result, serialized to BENCH_kernel.json.
-// Schema/4 records the host environment at the top level — wall-clock
+// The host environment is recorded at the top level — wall-clock
 // entries are only comparable across runs on the same class of machine,
-// and the GC totals say how much of the run the collector ate.
+// and the GC totals say how much of the run the collector ate. Schema/5
+// adds the flow_scale section: the Fig 13 flow axis extended past
+// 65,536 connections, with measured bytes/flow and ns/stepped-cycle at
+// each point.
 type KernelBench struct {
 	Schema     string `json:"schema"`
 	Quick      bool   `json:"quick"`
@@ -67,6 +71,34 @@ type KernelBench struct {
 	Entries   []KernelBenchEntry `json:"entries"`
 	Telemetry *TelemetryOverhead `json:"telemetry,omitempty"`
 	Sharded   *ShardedSweepBench `json:"sharded,omitempty"`
+	FlowScale []FlowScalePoint   `json:"flow_scale,omitempty"`
+}
+
+// FlowScalePoint is one point of the extended Fig 13 flow axis
+// (schema/5): the churn rig — multiple client IPs, so the 64k
+// ephemeral-port space per address pair is not the ceiling — ramped to
+// Flows concurrent connections, then a timed churn window at the
+// plateau. Two per-flow footprints are recorded: the accounted one
+// (what the server's own probes claim: TCB + flow-table entry +
+// reassembler) and the whole-rig heap one (what the Go heap actually
+// grew by, both sides and all bookkeeping included). The gap between
+// them is the honest overhead number.
+type FlowScalePoint struct {
+	Flows      int   `json:"flows"`
+	Clients    int   `json:"clients"`
+	Reached    bool  `json:"reached"`
+	RampCycles int64 `json:"ramp_cycles"`
+
+	BytesPerFlowAccounted float64 `json:"bytes_per_flow_accounted"`
+	BytesPerFlowHeap      float64 `json:"bytes_per_flow_heap"`
+
+	// Cost of one executed cycle during the plateau window, with churn
+	// (departures, replacement handshakes, TIME_WAIT recycling) running.
+	NSPerSteppedCycle     float64 `json:"ns_per_stepped_cycle"`
+	AllocsPerSteppedCycle float64 `json:"allocs_per_stepped_cycle"`
+
+	TableSlots   int   `json:"table_slots"`
+	TableResizes int64 `json:"table_resizes"`
 }
 
 // ShardedSweepBench times the Figure 13 echo row — one independent rig
@@ -251,6 +283,58 @@ func RunShardedSweepBench(quick bool, workers int) *ShardedSweepBench {
 	return out
 }
 
+// benchFlowScale runs one flow-scale point on a fresh serial kernel.
+// Lifetimes are scaled to ~3x the expected ramp so real churn overlaps
+// the measured window at every flow count.
+func benchFlowScale(flows int) FlowScalePoint {
+	cfg := ChurnConfig{
+		TargetFlows:   flows,
+		Clients:       flows / 16384,
+		Budget:        int64(flows)*8 + 2_000_000,
+		LifetimeXM:    int64(flows)*3 + 200_000,
+		LifetimeAlpha: 1.2,
+		Seed:          7,
+	}
+	if cfg.Clients < 8 {
+		cfg.Clients = 8
+	}
+	pt := FlowScalePoint{Flows: flows, Clients: cfg.Clients}
+
+	// Heap growth is measured rig-inclusive: settle the collector, build
+	// and ramp, settle again. Anything the run allocated and kept —
+	// conns, arenas, table, wheel — is attributed to the flows.
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	k := sim.New()
+	rig := newChurnRig(k, cfg)
+	pt.Reached = RunUntilCoarse(k, rig.rampDone(flows), 25_000, cfg.Budget)
+	pt.RampCycles = k.Now()
+	if !pt.Reached {
+		return pt
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		pt.BytesPerFlowHeap = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(flows)
+	}
+
+	s := timedRun(k, 400_000)
+	if stepped := s.cycles - s.skipped; stepped > 0 {
+		pt.NSPerSteppedCycle = float64(s.wallNS) / float64(stepped)
+		pt.AllocsPerSteppedCycle = float64(s.mallocs) / float64(stepped)
+	}
+
+	fp := telemetry.NewFootprint()
+	rig.srv.InstrumentMem(fp, "srv")
+	pt.BytesPerFlowAccounted = fp.BytesPerFlow(int64(rig.srv.Conns()))
+	st := rig.srv.TableStats()
+	pt.TableSlots, pt.TableResizes = st.Slots, st.Resizes
+	return pt
+}
+
 // RunKernelBench runs every workload in both kernel modes and returns
 // the comparison. quick shortens the windows for CI smoke runs. shards
 // > 0 additionally runs the sharded sweep benchmark with that many
@@ -269,7 +353,7 @@ func RunKernelBench(quick bool, shards int) *KernelBench {
 		{"bulk-saturated-fig8a", benchBulk},
 	}
 	out := &KernelBench{
-		Schema:     "f4t-kernel-bench/4",
+		Schema:     "f4t-kernel-bench/5",
 		Quick:      quick,
 		HostCPUs:   runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
@@ -335,6 +419,16 @@ func RunKernelBench(quick bool, shards int) *KernelBench {
 
 	if shards > 0 {
 		out.Sharded = RunShardedSweepBench(quick, shards)
+	}
+
+	// The extended Fig 13 flow axis (schema/5): past the 65,536-flow top
+	// end of the echo sweep, which a single address pair cannot exceed.
+	flowPoints := []int{16384, 65536, 131072, 262144}
+	if quick {
+		flowPoints = []int{4096, 16384}
+	}
+	for _, flows := range flowPoints {
+		out.FlowScale = append(out.FlowScale, benchFlowScale(flows))
 	}
 
 	var gc1 runtime.MemStats

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Rand is a small, fast, deterministic PRNG (xorshift64*), used instead of
 // math/rand so that every component can own an independent stream whose
 // output depends only on its seed, never on global state or call order
@@ -55,6 +57,17 @@ func (r *Rand) Float64() float64 {
 // Bool returns true with probability p.
 func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p
+}
+
+// Pareto draws from a Pareto distribution with scale xm (the minimum
+// value) and shape alpha via inverse-transform sampling. Small alpha
+// (≈1) gives the heavy tail that makes connection-lifetime churn hard:
+// most draws near xm, a few enormous. Callers truncate if they need a
+// bounded tail.
+func (r *Rand) Pareto(xm float64, alpha float64) float64 {
+	// 1-Float64() is in (0, 1], so the pow never divides by zero.
+	u := 1 - r.Float64()
+	return xm * math.Pow(u, -1/alpha)
 }
 
 // Perm returns a pseudo-random permutation of [0, n).

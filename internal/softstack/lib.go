@@ -210,7 +210,17 @@ func (l *Lib) apply(comp hostif.Completion) {
 			l.events = append(l.events, Event{Kind: EvHangup, Sock: s})
 		}
 	case hostif.CompReset:
-		if s := l.socks[comp.Flow]; s != nil {
+		// A reset that carries a port names an active open rejected
+		// before any hardware flow ID existed (engine at MaxFlows): it is
+		// correlated through dialWait like CompAccepted. That check must
+		// come first — such completions leave Flow at its zero value, and
+		// flow ID 0 is a legitimate connection.
+		if s := l.dialWait[comp.Port]; comp.Port != 0 && s != nil {
+			delete(l.dialWait, comp.Port)
+			s.WasReset = true
+			s.Closed = true
+			l.events = append(l.events, Event{Kind: EvHangup, Sock: s})
+		} else if s := l.socks[comp.Flow]; s != nil {
 			s.WasReset = true
 			s.Closed = true
 			delete(l.socks, comp.Flow)

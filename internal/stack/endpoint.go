@@ -8,7 +8,7 @@
 package stack
 
 import (
-	"fmt"
+	"unsafe"
 
 	"f4t/internal/cc"
 	"f4t/internal/datapath"
@@ -16,6 +16,7 @@ import (
 	"f4t/internal/seqnum"
 	"f4t/internal/sim"
 	"f4t/internal/tcpproc"
+	"f4t/internal/telemetry"
 	"f4t/internal/timerq"
 	"f4t/internal/wire"
 )
@@ -66,6 +67,7 @@ type Endpoint struct {
 	RxPkts, TxPkts       int64
 	RxNoFlow, RxDropped  int64
 	RxOowRsts            int64 // inbound RSTs dropped by sequence validation
+	FlowsRejected        int64 // opens refused: MaxFlows reached or flow table full
 	ProcessedEvents      int64
 }
 
@@ -150,6 +152,9 @@ func (e *Endpoint) Dial(remote wire.Addr, remotePort uint16) *Conn {
 			continue
 		}
 		c := e.newConn(tuple)
+		if c == nil { // MaxFlows reached or flow table full (counted there)
+			return nil
+		}
 		ev := flow.Event{Kind: flow.EvUser, Flow: c.ID, Ctl: flow.CtlOpen}
 		e.Inject(c, &ev)
 		return c
@@ -157,8 +162,15 @@ func (e *Endpoint) Dial(remote wire.Addr, remotePort uint16) *Conn {
 	return nil
 }
 
-// newConn allocates connection state and registers the flow.
+// newConn allocates connection state and registers the flow. It returns
+// nil — with the rejection counted — when the endpoint is at MaxFlows or
+// the flow table refuses the tuple; callers must abort the open cleanly
+// (Dial returns nil, the passive path answers the SYN with a RST).
 func (e *Endpoint) newConn(tuple wire.FourTuple) *Conn {
+	if len(e.conns) >= e.Opt.MaxFlows {
+		e.FlowsRejected++
+		return nil
+	}
 	e.nextID++
 	id := e.nextID
 	iss := seqnum.Value(e.rng.Uint32())
@@ -189,7 +201,8 @@ func (e *Endpoint) newConn(tuple wire.FourTuple) *Conn {
 	}
 	c.meta = datapath.FlowMeta{Tuple: tuple, LocalMAC: e.Opt.MAC}
 	if !e.parser.Register(tuple, id, rxRing) {
-		panic(fmt.Sprintf("stack: flow table full at %d flows", e.parser.Flows()))
+		e.FlowsRejected++
+		return nil
 	}
 	e.conns[id] = c
 	return c
@@ -343,6 +356,12 @@ func (e *Endpoint) HandlePacket(pkt *wire.Packet) *Conn {
 		if pkt.TCP.Flags&wire.FlagSYN != 0 && pkt.TCP.Flags&wire.FlagACK == 0 {
 			if _, listening := e.listeners[pkt.TCP.DstPort]; listening {
 				c := e.newConn(pkt.Tuple())
+				if c == nil {
+					// Endpoint full: refuse the open with a RST so the
+					// client aborts instead of retransmitting its SYN.
+					e.sendRST(pkt)
+					return nil
+				}
 				c.passive = true
 				c.TCB.State = flow.StateListen
 				c.meta.PeerMAC = pkt.Eth.Src
@@ -432,6 +451,37 @@ func (e *Endpoint) Tick(int64) { e.ExpireTimers() }
 // heap); stale heads are popped by the next ExpireTimers call, so a
 // past deadline costs at most one extra tick.
 func (e *Endpoint) NextTimerNS() int64 { return e.timers.NextDeadline() }
+
+// Mem reports the parser-side per-connection footprint (flow table,
+// parser-flow arena, reassembly buffers). O(flows); snapshot-time only.
+func (e *Endpoint) Mem() datapath.ParserMem { return e.parser.Mem() }
+
+// TableStats exposes the flow table's occupancy and displacement
+// counters (size, kicks, stash residency, resizes, refused inserts).
+func (e *Endpoint) TableStats() datapath.CuckooStats { return e.parser.TableStats() }
+
+// InstrumentMem registers the endpoint's per-connection memory probes on
+// a footprint accountant: connection control blocks plus the parser's
+// table/arena/reassembly storage.
+func (e *Endpoint) InstrumentMem(fp *telemetry.Footprint, prefix string) {
+	connBytes := int64(unsafe.Sizeof(Conn{}) + unsafe.Sizeof(flow.TCB{}))
+	fp.Add(prefix+".conns", func() (int64, int64) {
+		n := int64(len(e.conns))
+		return n, n * connBytes
+	})
+	fp.Add(prefix+".flow_table", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.TableEntries, m.TableBytes
+	})
+	fp.Add(prefix+".parser_flows", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.FlowCount, m.FlowBytes
+	})
+	fp.Add(prefix+".reasm", func() (int64, int64) {
+		m := e.parser.Mem()
+		return m.FlowCount, m.ReasmBytes
+	})
+}
 
 // Ping sends an ICMP echo request (diagnostics parity with FtEngine).
 func (e *Endpoint) Ping(ip wire.Addr, id, seq uint16, payload []byte) bool {

@@ -382,6 +382,69 @@ func TestManyConcurrentConnections(t *testing.T) {
 	}, 10_000_000, "200 concurrent handshakes")
 }
 
+func TestMaxFlowsRejectsOpens(t *testing.T) {
+	// A full endpoint must refuse opens cleanly: Dial returns nil on the
+	// initiator, a SYN at a full listener draws a RST (so the client
+	// aborts instead of retransmitting), and every refusal is counted.
+	k := sim.New()
+	link := netsim.NewLink(k, 100, 600, 42)
+	optA := Options{
+		IP: wire.MakeAddr(10, 0, 0, 1), MAC: wire.MAC{2, 0, 0, 0, 0, 1},
+		Cfg: tcpproc.DefaultConfig(), MaxFlows: 8, Seed: 1,
+	}
+	optB := Options{
+		IP: wire.MakeAddr(10, 0, 0, 2), MAC: wire.MAC{2, 0, 0, 0, 0, 2},
+		Cfg: tcpproc.DefaultConfig(), MaxFlows: 2, Seed: 2,
+	}
+	a := New(k, optA, link.AtoB.Send)
+	b := New(k, optB, link.BtoA.Send)
+	link.AtoB.SetSink(func(p *wire.Packet) { b.HandlePacket(p) })
+	link.BtoA.SetSink(func(p *wire.Packet) { a.HandlePacket(p) })
+	k.Register(a)
+	k.Register(b)
+
+	accepted := 0
+	b.Listen(80, func(c *Conn) { accepted++ })
+	c1 := a.Dial(optB.IP, 80)
+	c2 := a.Dial(optB.IP, 80)
+	if !k.RunUntil(func() bool { return c1.Established && c2.Established && accepted == 2 }, 1_000_000) {
+		t.Fatal("first two handshakes timed out")
+	}
+
+	// Server full: the third client SYN must be answered with a RST.
+	c3 := a.Dial(optB.IP, 80)
+	if c3 == nil {
+		t.Fatal("client refused the dial; only the server should be full")
+	}
+	if !k.RunUntil(func() bool { return c3.WasReset }, 2_000_000) {
+		t.Fatal("rejected open never drew a RST back to the client")
+	}
+	if b.FlowsRejected == 0 {
+		t.Fatalf("server FlowsRejected = %d, want > 0", b.FlowsRejected)
+	}
+	if b.Conns() != 2 || accepted != 2 {
+		t.Fatalf("server conns = %d accepted = %d, want 2/2", b.Conns(), accepted)
+	}
+
+	// Client full: Dial refuses locally, counted, no packet sent.
+	a.Opt.MaxFlows = 2
+	tx := a.TxPkts
+	if c := a.Dial(optB.IP, 80); c != nil {
+		t.Fatal("Dial succeeded past MaxFlows")
+	}
+	if a.FlowsRejected != 1 {
+		t.Fatalf("client FlowsRejected = %d, want 1", a.FlowsRejected)
+	}
+	if a.TxPkts != tx {
+		t.Fatal("locally-refused Dial still transmitted")
+	}
+
+	// The surviving connections are untouched by the rejections.
+	if c1.WasReset || c2.WasReset || !c1.Established || !c2.Established {
+		t.Fatal("rejection disturbed established connections")
+	}
+}
+
 func TestICMPEcho(t *testing.T) {
 	p := newPair(t, false, "newreno")
 	p.a.LearnPeer(p.b.Opt.IP, p.b.Opt.MAC)

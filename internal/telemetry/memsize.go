@@ -1,0 +1,103 @@
+package telemetry
+
+import "fmt"
+
+// MemItem is one component's allocated footprint at snapshot time.
+type MemItem struct {
+	Name    string `json:"name"`
+	Entries int64  `json:"entries"` // live objects the bytes are amortized over
+	Bytes   int64  `json:"bytes"`   // allocated bytes (capacity, not just occupancy)
+}
+
+// Footprint aggregates per-flow memory accounting across components:
+// each producer (flow table, TCB arena, parser flows, reassemblers)
+// registers a probe, and Snapshot/TotalBytes answer "what does one
+// connection cost" with measured numbers instead of folklore. Probes
+// run only when asked — registering them costs nothing per packet.
+// All methods are safe on a nil Footprint (the usual telemetry
+// fast-path convention).
+type Footprint struct {
+	items []fpItem
+}
+
+type fpItem struct {
+	name string
+	fn   func() (entries, bytes int64)
+}
+
+// NewFootprint returns an empty footprint accountant.
+func NewFootprint() *Footprint { return &Footprint{} }
+
+// Add registers one probe under name. The probe must return the current
+// live-entry count and allocated bytes; it runs at snapshot time on the
+// caller's goroutine.
+func (f *Footprint) Add(name string, fn func() (entries, bytes int64)) {
+	if f == nil || fn == nil {
+		return
+	}
+	f.items = append(f.items, fpItem{name: name, fn: fn})
+}
+
+// Snapshot evaluates every probe.
+func (f *Footprint) Snapshot() []MemItem {
+	if f == nil {
+		return nil
+	}
+	out := make([]MemItem, 0, len(f.items))
+	for _, it := range f.items {
+		e, b := it.fn()
+		out = append(out, MemItem{Name: it.name, Entries: e, Bytes: b})
+	}
+	return out
+}
+
+// TotalBytes sums every probe's allocated bytes.
+func (f *Footprint) TotalBytes() int64 {
+	if f == nil {
+		return 0
+	}
+	var total int64
+	for _, it := range f.items {
+		_, b := it.fn()
+		total += b
+	}
+	return total
+}
+
+// BytesPerFlow amortizes the total footprint over flows live
+// connections (0 when none).
+func (f *Footprint) BytesPerFlow(flows int64) float64 {
+	if f == nil || flows <= 0 {
+		return 0
+	}
+	return float64(f.TotalBytes()) / float64(flows)
+}
+
+// Instrument registers two gauges per probe (<prefix>.<name>.entries
+// and .bytes) plus <prefix>.total_bytes on the registry.
+func (f *Footprint) Instrument(reg *Registry, prefix string) {
+	if f == nil || reg == nil {
+		return
+	}
+	for _, it := range f.items {
+		fn := it.fn
+		reg.Gauge(prefix+"."+it.name+".entries", func() int64 { e, _ := fn(); return e })
+		reg.Gauge(prefix+"."+it.name+".bytes", func() int64 { _, b := fn(); return b })
+	}
+	reg.Gauge(prefix+".total_bytes", f.TotalBytes)
+}
+
+// String renders the snapshot for diagnostics.
+func (f *Footprint) String() string {
+	if f == nil {
+		return "footprint{}"
+	}
+	s := "footprint{"
+	for i, it := range f.Snapshot() {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d/%dB", it.Name, it.Entries, it.Bytes)
+	}
+	return s + "}"
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import "testing"
+
+func TestFootprint(t *testing.T) {
+	fp := NewFootprint()
+	entries, bytes := int64(10), int64(4096)
+	fp.Add("table", func() (int64, int64) { return entries, bytes })
+	fp.Add("arena", func() (int64, int64) { return 2, 1024 })
+
+	snap := fp.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "table" || snap[0].Bytes != 4096 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := fp.TotalBytes(); got != 5120 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+	if got := fp.BytesPerFlow(10); got != 512 {
+		t.Fatalf("BytesPerFlow = %f", got)
+	}
+	if got := fp.BytesPerFlow(0); got != 0 {
+		t.Fatalf("BytesPerFlow(0) = %f", got)
+	}
+
+	// Probes are live: a later snapshot sees updated values.
+	entries, bytes = 20, 8192
+	if got := fp.TotalBytes(); got != 9216 {
+		t.Fatalf("TotalBytes after update = %d", got)
+	}
+
+	reg := NewRegistry()
+	fp.Instrument(reg, "mem")
+	if v, ok := reg.Value("mem.table.bytes"); !ok || v != 8192 {
+		t.Fatalf("gauge mem.table.bytes = %d,%v", v, ok)
+	}
+	if v, ok := reg.Value("mem.total_bytes"); !ok || v != 9216 {
+		t.Fatalf("gauge mem.total_bytes = %d,%v", v, ok)
+	}
+}
+
+func TestFootprintNilFastPath(t *testing.T) {
+	var fp *Footprint
+	fp.Add("x", func() (int64, int64) { return 1, 1 })
+	if fp.Snapshot() != nil || fp.TotalBytes() != 0 || fp.BytesPerFlow(5) != 0 {
+		t.Fatal("nil footprint must no-op")
+	}
+	fp.Instrument(NewRegistry(), "mem")
+}
