@@ -8,7 +8,7 @@
 //
 // Experiments: table1 table2 fig1 fig2 fig7b fig8 fig9 fig10 fig11
 // fig12 fig13 fig14 fig15 fig16a fig16b alg, the abl-* ablations, the
-// topology scenarios incast fanio mixed wan, the stdlib-facade demo
+// topology scenarios incast fanio mixed wan fairness, the stdlib-facade demo
 // httpload (-pcap <file> additionally writes its link capture), and the
 // churn flow-scale stress (2^20 concurrent connections)
 package main
@@ -50,10 +50,11 @@ var runners = map[string]func(quick bool) *exp.Table{
 
 	// Multi-node topology scenarios (not paper figures; they exercise
 	// the router/AQM subsystem under datacenter traffic patterns).
-	"incast": exp.ScenarioIncast,
-	"fanio":  exp.ScenarioFanio,
-	"mixed":  exp.ScenarioMixed,
-	"wan":    exp.ScenarioWAN,
+	"incast":   exp.ScenarioIncast,
+	"fanio":    exp.ScenarioFanio,
+	"mixed":    exp.ScenarioMixed,
+	"wan":      exp.ScenarioWAN,
+	"fairness": exp.ScenarioFairness,
 
 	// Stdlib-compatibility demo: an unmodified net/http server/client
 	// pair over the netapi socket facade (DESIGN.md §14).
@@ -70,7 +71,7 @@ var order = []string{
 	"table1", "table2", "fig1", "fig2", "fig7b", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16a",
 	"fig16b", "alg", "abl-fpcs", "abl-coalesce", "abl-cache",
-	"incast", "fanio", "mixed", "wan", "httpload", "churn",
+	"incast", "fanio", "mixed", "wan", "fairness", "httpload", "churn",
 }
 
 func main() {

@@ -2,10 +2,15 @@
 // harness from the command line: a seed sweep over one rig pairing (or
 // all of them), with automatic failure minimization.
 //
-// Every run is a pure function of (rig, seed, phases, conns, chunk), so
-// the command printed on failure reproduces it exactly:
+// Every run is a pure function of (rig, alg, seed, phases, conns,
+// chunk), so the command printed on failure reproduces it exactly:
 //
 //	go run ./cmd/f4tconform -rig engine-soft -seed 17 -phases 3 -conns 4 -chunk 4096
+//
+// -alg loads any registered congestion-control program into both
+// endpoints (or 'all' to sweep every one); the CC state invariants —
+// cwnd floor, ssthresh clamp and sentinel rules, CCVars arena aliasing
+// — adapt per program.
 //
 // CI runs a bounded sweep (-rig all -seeds N) as a smoke test; exit
 // status is nonzero iff any seed fails, after shrinking the failure to
@@ -21,7 +26,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"f4t/internal/cc"
 	"f4t/internal/conformance"
 )
 
@@ -33,12 +40,21 @@ func main() {
 		phases  = flag.Int("phases", 6, "fault phases per run")
 		conns   = flag.Int("conns", 4, "concurrent connections per run")
 		chunk   = flag.Int("chunk", 4096, "application write size in bytes")
+		algName = flag.String("alg", "newreno", "congestion-control program both endpoints run ("+strings.Join(cc.Names(), ", ")+"), or 'all' to sweep every registered one")
 		bytes   = flag.Int("bytes", 20000, "facade rig: payload bytes per connection")
 		shards  = flag.Int("shards", 0, "facade rig: run on a sharded fabric with this many shards")
 		pcap    = flag.String("pcap", "", "write the run's link capture to this pcapng file")
 		verbose = flag.Bool("v", false, "print per-run schedules and stats")
 	)
 	flag.Parse()
+
+	algs := []string{*algName}
+	if *algName == "all" {
+		algs = cc.Names()
+	} else if _, err := cc.New(*algName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	// The facade rig verifies the netapi net.Conn surface instead of the
 	// raw socket API; it has its own sweep (no phase schedule).
@@ -81,23 +97,25 @@ func main() {
 
 	failures := 0
 	for _, rig := range rigs {
-		for s := *seed; s < *seed+uint64(*seeds); s++ {
-			cfg := conformance.Config{
-				Rig: rig, Seed: s, Phases: *phases, Conns: *conns, Chunk: *chunk,
-				PCAPPath: *pcap,
+		for _, alg := range algs {
+			for s := *seed; s < *seed+uint64(*seeds); s++ {
+				cfg := conformance.Config{
+					Rig: rig, Seed: s, Phases: *phases, Conns: *conns, Chunk: *chunk,
+					Alg: alg, PCAPPath: *pcap,
+				}
+				res := conformance.Run(cfg)
+				if *verbose {
+					fmt.Printf("%-13s %s: forged=%d dropped=%d end=%dcyc\n",
+						rig, res.Sched, res.ForgedRSTs, res.OowRstDrops, res.EndCycle)
+				}
+				if !res.Failed() {
+					fmt.Printf("%-13s %-8s seed=%-6d PASS (%d phases, drained at cycle %d)\n",
+						rig, alg, s, *phases, res.EndCycle)
+					continue
+				}
+				failures++
+				report(cfg, res)
 			}
-			res := conformance.Run(cfg)
-			if *verbose {
-				fmt.Printf("%-13s %s: forged=%d dropped=%d end=%dcyc\n",
-					rig, res.Sched, res.ForgedRSTs, res.OowRstDrops, res.EndCycle)
-			}
-			if !res.Failed() {
-				fmt.Printf("%-13s seed=%-6d PASS (%d phases, drained at cycle %d)\n",
-					rig, s, *phases, res.EndCycle)
-				continue
-			}
-			failures++
-			report(cfg, res)
 		}
 	}
 	if failures > 0 {
@@ -109,7 +127,7 @@ func main() {
 // report prints a failure and shrinks it to the shortest schedule prefix
 // that still reproduces, then prints the exact replay command.
 func report(cfg conformance.Config, res conformance.Result) {
-	fmt.Printf("%-13s seed=%-6d FAIL (%d violations)\n", cfg.Rig, cfg.Seed, len(res.Violations))
+	fmt.Printf("%-13s %-8s seed=%-6d FAIL (%d violations)\n", cfg.Rig, cfg.Alg, cfg.Seed, len(res.Violations))
 
 	min, minRes, ok := conformance.Minimize(cfg, conformance.Run)
 	if !ok {

@@ -39,16 +39,15 @@ func main() {
 		fmt.Printf("f4t,%.1f,%d\n", float64(f4tTrace.AtNS[i])/1e3, f4tTrace.Cwnd[i])
 	}
 
-	// The independent reference simulator only models the algorithms the
-	// paper compares against NS3 (newreno, cubic); for the rest the F4T
+	// The independent reference simulator models most of the registry
+	// (newreno, cubic, vegas, dctcp, bbr); for anything it lacks the F4T
 	// trace stands alone.
-	switch *alg {
-	case "newreno", "cubic":
-		refTrace := exp.RefCwndTrace(*alg, *drop, *ms*1_000_000, 100_000)
-		for i := range refTrace.AtNS {
-			fmt.Printf("reference,%.1f,%d\n", float64(refTrace.AtNS[i])/1e3, refTrace.Cwnd[i])
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "f4ttrace: note: reference simulator models newreno/cubic only; emitting f4t trace alone for %q\n", *alg)
+	refTrace, err := exp.RefCwndTrace(*alg, *drop, *ms*1_000_000, 100_000)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "f4ttrace: note: %v; emitting f4t trace alone\n", err)
+		return
+	}
+	for i := range refTrace.AtNS {
+		fmt.Printf("reference,%.1f,%d\n", float64(refTrace.AtNS[i])/1e3, refTrace.Cwnd[i])
 	}
 }

@@ -23,10 +23,11 @@ func main() {
 	plot(tr)
 	fmt.Printf("\n%d loss epochs, mean cwnd %.0f KB\n", tr.LossEpochs(), tr.MeanCwnd()/1024)
 
-	if *alg != "vegas" { // the reference implements newreno and cubic
-		ref := exp.RefCwndTrace(*alg, *drop, 24_000_000, 200_000)
+	if ref, err := exp.RefCwndTrace(*alg, *drop, 24_000_000, 200_000); err == nil {
 		fmt.Printf("reference simulator: %d loss epochs, mean cwnd %.0f KB\n",
 			ref.LossEpochs(), ref.MeanCwnd()/1024)
+	} else {
+		fmt.Printf("reference simulator: %v\n", err)
 	}
 }
 

@@ -47,6 +47,13 @@ type Algorithm interface {
 // InitialWindow is the RFC 6928 initial congestion window in segments.
 const InitialWindow = 10
 
+// InitialSsthresh is the "effectively unbounded" slow-start threshold a
+// connection starts with (RFC 5681 §3.1). Loss-based programs lower it on
+// their first loss; model-based programs (BBR) never touch it, so for them
+// it stays at this sentinel for the connection's lifetime — an invariant
+// the conformance suite checks.
+const InitialSsthresh = 0x7FFFFFFF
+
 // MinSsthresh floors ssthresh at two segments (RFC 5681).
 func MinSsthresh(mss uint32) uint32 { return 2 * mss }
 

@@ -1,0 +1,166 @@
+package cc
+
+import (
+	"f4t/internal/seqnum"
+	"testing"
+
+	"f4t/internal/flow"
+)
+
+const bbrTestMSS = 1460
+
+// bbrTCB returns a TCB initialized by BBR with a pinned 64-segment flight.
+func bbrTCB() *flow.TCB {
+	t := &flow.TCB{}
+	BBR{}.Init(t, bbrTestMSS)
+	t.SndUna = seqnum.Value(0)
+	t.SndNxt = seqnum.Value(64 * bbrTestMSS)
+	return t
+}
+
+// bbrMode extracts the current mode from the packed state word.
+func bbrMode(t *flow.TCB) uint64 { return t.CCVars[bbState] & 0xff }
+
+// feedAcks drives n acks of one MSS each at the given RTT, spaced gapNS
+// apart starting at startNS, and returns the ns clock after the last ack.
+func feedAcks(t *flow.TCB, n int, rttNS int64, startNS, gapNS int64) int64 {
+	now := startNS
+	for i := 0; i < n; i++ {
+		BBR{}.OnAck(t, bbrTestMSS, rttNS, now, bbrTestMSS)
+		now += gapNS
+	}
+	return now
+}
+
+func TestBBRStartupGrowsExponentially(t *testing.T) {
+	tcb := bbrTCB()
+	before := tcb.Cwnd
+	feedAcks(tcb, 20, 50_000, 1_000, 10_000)
+	if bbrMode(tcb) != bbrStartup {
+		t.Fatalf("mode = %d, want startup", bbrMode(tcb))
+	}
+	// Startup adds every acked byte to cwnd: 20 acks -> +20 MSS.
+	if want := before + 20*bbrTestMSS; tcb.Cwnd != want {
+		t.Fatalf("cwnd = %d, want %d", tcb.Cwnd, want)
+	}
+	if tcb.Ssthresh != InitialSsthresh {
+		t.Fatalf("ssthresh = %#x, want untouched sentinel", tcb.Ssthresh)
+	}
+}
+
+func TestBBRFillsPipeAndDrains(t *testing.T) {
+	tcb := bbrTCB()
+	// A steady ack clock at constant RTT delivers a flat bandwidth
+	// estimate; after three plateau epochs BBR must leave Startup, drain
+	// down to the BDP, and settle into ProbeBW.
+	now := feedAcks(tcb, 400, 50_000, 1_000, 10_000)
+	if m := bbrMode(tcb); m != bbrProbeBW {
+		t.Fatalf("after steady ack clock mode = %d, want probe-bw", m)
+	}
+	if tcb.CCVars[bbBtlBw] == 0 {
+		t.Fatal("no bandwidth estimate established")
+	}
+	if tcb.CCVars[bbMinRTT] != 50_000 {
+		t.Fatalf("minRTT = %d, want 50000", tcb.CCVars[bbMinRTT])
+	}
+	// In ProbeBW cwnd tracks gain*BDP, far below Startup's runaway peak.
+	bdp := tcb.CCVars[bbBtlBw] * tcb.CCVars[bbMinRTT] / 1_000_000_000
+	if uint64(tcb.Cwnd) > 2*bdp+4*bbrTestMSS {
+		t.Fatalf("cwnd = %d not anchored to bdp %d", tcb.Cwnd, bdp)
+	}
+	_ = now
+}
+
+func TestBBRGainCycleAdvances(t *testing.T) {
+	tcb := bbrTCB()
+	feedAcks(tcb, 400, 50_000, 1_000, 10_000)
+	if m := bbrMode(tcb); m != bbrProbeBW {
+		t.Fatalf("mode = %d, want probe-bw", m)
+	}
+	seen := map[uint64]bool{}
+	now := int64(400*10_000 + 1_000)
+	for i := 0; i < 200; i++ {
+		BBR{}.OnAck(tcb, bbrTestMSS, 50_000, now, bbrTestMSS)
+		seen[(tcb.CCVars[bbState]>>8)&0xff] = true
+		now += 10_000
+	}
+	// 2ms of acks at a 50us phase clock walks the whole 8-phase cycle.
+	if len(seen) < 3 {
+		t.Fatalf("gain cycle stuck: visited phases %v", seen)
+	}
+}
+
+func TestBBRProbeRTTDipAndRestore(t *testing.T) {
+	tcb := bbrTCB()
+	now := feedAcks(tcb, 400, 50_000, 1_000, 10_000)
+	if m := bbrMode(tcb); m != bbrProbeBW {
+		t.Fatalf("mode = %d, want probe-bw", m)
+	}
+	// Constant RTT means the floor is never beaten; once the 10ms window
+	// lapses BBR must dip to 4 MSS.
+	now += bbrMinRttWinNS + 1
+	BBR{}.OnAck(tcb, bbrTestMSS, 50_000, now, bbrTestMSS)
+	if m := bbrMode(tcb); m != bbrProbeRTT {
+		t.Fatalf("mode = %d, want probe-rtt", m)
+	}
+	if tcb.Cwnd != 4*bbrTestMSS {
+		t.Fatalf("probe-rtt cwnd = %d, want %d", tcb.Cwnd, 4*bbrTestMSS)
+	}
+	// After the 200us dwell the window is restored and ProbeBW resumes.
+	now += bbrProbeRttNS + 1
+	BBR{}.OnAck(tcb, bbrTestMSS, 50_000, now, bbrTestMSS)
+	if m := bbrMode(tcb); m != bbrProbeBW {
+		t.Fatalf("post-dwell mode = %d, want probe-bw", m)
+	}
+	if tcb.Cwnd <= 4*bbrTestMSS {
+		t.Fatalf("cwnd not restored after probe-rtt: %d", tcb.Cwnd)
+	}
+}
+
+func TestBBRLossConservesAndRestores(t *testing.T) {
+	tcb := bbrTCB()
+	feedAcks(tcb, 400, 50_000, 1_000, 10_000)
+	pre := tcb.Cwnd
+	tcb.InRecovery = true
+	BBR{}.OnLoss(tcb, 5_000_000, bbrTestMSS)
+	if tcb.Cwnd > pre {
+		t.Fatalf("loss grew cwnd: %d > %d", tcb.Cwnd, pre)
+	}
+	if tcb.Cwnd < 4*bbrTestMSS {
+		t.Fatalf("loss broke 4-MSS floor: %d", tcb.Cwnd)
+	}
+	if tcb.Ssthresh != InitialSsthresh {
+		t.Fatalf("loss touched ssthresh: %#x", tcb.Ssthresh)
+	}
+	tcb.InRecovery = false
+	BBR{}.OnRecoveryExit(tcb, bbrTestMSS)
+	if tcb.Cwnd < pre {
+		t.Fatalf("recovery exit did not restore window: %d < %d", tcb.Cwnd, pre)
+	}
+}
+
+func TestBBRTimeoutCollapsesButKeepsModel(t *testing.T) {
+	tcb := bbrTCB()
+	feedAcks(tcb, 400, 50_000, 1_000, 10_000)
+	bw := tcb.CCVars[bbBtlBw]
+	BBR{}.OnTimeout(tcb, 9_000_000, bbrTestMSS)
+	if tcb.Cwnd != bbrTestMSS {
+		t.Fatalf("timeout cwnd = %d, want 1 MSS", tcb.Cwnd)
+	}
+	if tcb.CCVars[bbBtlBw] != bw {
+		t.Fatal("timeout discarded the bandwidth model")
+	}
+	if tcb.Ssthresh != InitialSsthresh {
+		t.Fatalf("timeout touched ssthresh: %#x", tcb.Ssthresh)
+	}
+}
+
+func TestBBRRegistered(t *testing.T) {
+	a := MustNew("bbr")
+	if a.Name() != "bbr" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+	if a.PipelineLatency() <= MustNew("vegas").PipelineLatency() {
+		t.Fatal("bbr should have the deepest pipeline in the registry")
+	}
+}

@@ -121,6 +121,34 @@ var goldenScripts = map[string][]ccEvent{
 		[]ccEvent{{kind: "timeout"}},
 		acks(30, 1460, 520_000),
 	),
+	// Scalable's character is the rate-independent 0.01·cwnd MIMD growth
+	// above the 16-segment threshold and the gentle 1/8 decrease: the long
+	// ack run shows the exponential (not linear) climb, the paired losses
+	// show the shallow sawtooth.
+	"scalable": cat(
+		acks(40, 1460, 1_000_000), // slow start out of IW10
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(200, 1460, 1_000_000), // MIMD climb
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(100, 1460, 1_000_000),
+		[]ccEvent{{kind: "timeout"}},
+		acks(40, 1460, 1_000_000),
+	),
+	// BBR is time-based, so its script leans on the 100 us event spacing:
+	// at a constant 500 us RTT the bandwidth plateau ends Startup after
+	// three flat epochs, Drain descends to the BDP, the gain cycle turns
+	// once per min-RTT, a lower-RTT phase retakes the floor, and the
+	// 10 ms min-RTT window forces the ProbeRTT dip to 4 MSS with the
+	// window restored two events later. Loss and RTO never move ssthresh.
+	"bbr": cat(
+		acks(60, 1460, 500_000),  // startup → drain → probe-bw
+		acks(20, 1460, 450_000),  // a lower floor appears mid-flight
+		acks(120, 1460, 450_000), // constant RTT → probe-rtt dip at 10 ms
+		[]ccEvent{{kind: "loss"}, {kind: "rexit"}},
+		acks(40, 1460, 450_000),
+		[]ccEvent{{kind: "timeout"}},
+		acks(40, 1460, 450_000), // the model pulls the window straight back
+	),
 	"dctcp": cat(
 		acks(80, 1460, 200_000),  // slow start, no marks
 		macks(32, 1460, 200_000), // a heavily marked window → α jumps, cwnd cut
@@ -132,6 +160,27 @@ var goldenScripts = map[string][]ccEvent{
 		[]ccEvent{{kind: "timeout"}},
 		acks(20, 1460, 200_000),
 	),
+}
+
+// TestEveryAlgorithmHasGoldenTrace is registry-driven: registering a new
+// algorithm without scripting and committing its golden trace fails here,
+// so the next program can't ship untraced. The reverse direction catches
+// scripts orphaned by an algorithm rename.
+func TestEveryAlgorithmHasGoldenTrace(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := goldenScripts[name]; !ok {
+			t.Errorf("registered algorithm %q has no golden script — add it to goldenScripts and run go test -update", name)
+			continue
+		}
+		if _, err := os.Stat(filepath.Join("testdata", "golden_"+name+".txt")); err != nil {
+			t.Errorf("registered algorithm %q has no committed golden trace: %v", name, err)
+		}
+	}
+	for name := range goldenScripts {
+		if _, err := New(name); err != nil {
+			t.Errorf("golden script %q does not match any registered algorithm: %v", name, err)
+		}
+	}
 }
 
 func TestGoldenTraces(t *testing.T) {
@@ -213,5 +262,43 @@ func TestGoldenTraceProperties(t *testing.T) {
 	}
 	if !cut {
 		t.Error("dctcp script never produced an α-proportional cut on a marked window")
+	}
+
+	// Scalable's MIMD region must show multiplicative growth: the per-ack
+	// increment has to keep rising through the long climb, which linear
+	// congestion avoidance never does.
+	lines = runScript(MustNew("scalable"), goldenScripts["scalable"])
+	var climb []uint32
+	for _, l := range lines {
+		var cwnd uint32
+		fmt.Sscanf(strings.Fields(l)[2], "cwnd=%d", &cwnd)
+		climb = append(climb, cwnd)
+	}
+	growing := false
+	for i := 2; i < len(climb); i++ {
+		if climb[i] > climb[i-1] && climb[i-1] > climb[i-2] &&
+			climb[i]-climb[i-1] > climb[i-1]-climb[i-2] {
+			growing = true
+		}
+	}
+	if !growing {
+		t.Error("scalable script shows no accelerating (MIMD) growth")
+	}
+
+	// BBR: ssthresh stays at the untouched sentinel through loss and RTO,
+	// and the script actually reaches the ProbeRTT floor of 4 MSS.
+	lines = runScript(MustNew("bbr"), goldenScripts["bbr"])
+	sentinel := fmt.Sprintf("ssthresh=%d", uint32(InitialSsthresh))
+	dipped := false
+	for _, l := range lines {
+		if !strings.Contains(l, sentinel) {
+			t.Fatalf("bbr script moved ssthresh: %q", l)
+		}
+		if strings.Contains(l, "cwnd=5840 ") {
+			dipped = true
+		}
+	}
+	if !dipped {
+		t.Error("bbr script never reached the 4-MSS ProbeRTT floor")
 	}
 }

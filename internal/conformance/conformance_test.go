@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"f4t/internal/cc"
 	"f4t/internal/flow"
 	"f4t/internal/wire"
 )
@@ -91,12 +92,13 @@ func goodTCB(id flow.ID) *flow.TCB {
 		State:  flow.StateEstablished,
 		SndUna: 1000, SndNxt: 2000, Req: 2000,
 		RcvNxt: 5000, DeliveredTo: 5000,
+		Cwnd: 14600, Ssthresh: cc.InitialSsthresh,
 	}
 }
 
 func TestTrackerAckRegression(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tr.observe(tcb, 100)
 	tcb.SndUna = 900 // the ACK pointer retreats
@@ -108,7 +110,7 @@ func TestTrackerAckRegression(t *testing.T) {
 
 func TestTrackerSndUnaBeyondNxt(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tcb.SndUna = 3000 // beyond SndNxt=2000
 	tr.observe(tcb, 100)
@@ -119,7 +121,7 @@ func TestTrackerSndUnaBeyondNxt(t *testing.T) {
 
 func TestTrackerDeliveredBeyondRcvNxt(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tcb.DeliveredTo = 6000 // announced data that never arrived
 	tr.observe(tcb, 100)
@@ -130,7 +132,7 @@ func TestTrackerDeliveredBeyondRcvNxt(t *testing.T) {
 
 func TestTrackerIllegalTransition(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tr.observe(tcb, 100)
 	tcb.State = flow.StateSynSent // ESTABLISHED cannot go back to SYN-SENT
@@ -142,7 +144,7 @@ func TestTrackerIllegalTransition(t *testing.T) {
 
 func TestTrackerLegalPathsAccepted(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	// A sampled walk with gaps: SYN_SENT → ESTABLISHED → (FIN_WAIT_1
 	// skipped) → FIN_WAIT_2 → CLOSED. All legal under the closure.
@@ -159,7 +161,7 @@ func TestTrackerLegalPathsAccepted(t *testing.T) {
 
 func TestTrackerFlowIDReuseResetsHistory(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tr.observe(tcb, 100)
 	// Engine slot reuse: same flow ID, brand-new connection with a
@@ -177,7 +179,7 @@ func TestTrackerFlowIDReuseResetsHistory(t *testing.T) {
 
 func TestTrackerBackoffRewind(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tcb.Backoff = 3
 	tr.observe(tcb, 100)
@@ -189,7 +191,7 @@ func TestTrackerBackoffRewind(t *testing.T) {
 
 	// But a rewind together with an ACK advance is legitimate.
 	var s2 sinkT
-	tr2 := newTracker("X", s2.sink)
+	tr2 := newTracker("X", "newreno", 1460, s2.sink)
 	tcb2 := goodTCB(2)
 	tcb2.Backoff = 3
 	tr2.observe(tcb2, 100)
@@ -203,13 +205,116 @@ func TestTrackerBackoffRewind(t *testing.T) {
 
 func TestTrackerTimerArmedOnClosed(t *testing.T) {
 	var s sinkT
-	tr := newTracker("X", s.sink)
+	tr := newTracker("X", "newreno", 1460, s.sink)
 	tcb := goodTCB(1)
 	tcb.State = flow.StateClosed
 	tcb.RetransAt = 12345
 	tr.observe(tcb, 100)
 	if !s.has("timer-armed-on-closed") {
 		t.Fatalf("armed timer on closed flow not caught: %v", s.got)
+	}
+}
+
+// --- congestion-control state invariants ---
+
+func TestTrackerCwndBelowMSS(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", "newreno", 1460, s.sink)
+	tcb := goodTCB(1)
+	tcb.Cwnd = 1459 // below one segment: the flow can never send again
+	tr.observe(tcb, 100)
+	if !s.has("cwnd-below-mss") {
+		t.Fatalf("sub-MSS cwnd not caught: %v", s.got)
+	}
+
+	// The same window on a mid-handshake flow is not a violation: the
+	// program's Init may not have run yet.
+	var s2 sinkT
+	tr2 := newTracker("X", "newreno", 1460, s2.sink)
+	tcb2 := goodTCB(2)
+	tcb2.State = flow.StateSynSent
+	tcb2.Cwnd = 0
+	tr2.observe(tcb2, 100)
+	if len(s2.got) != 0 {
+		t.Fatalf("pre-established cwnd flagged: %v", s2.got)
+	}
+}
+
+func TestTrackerSsthreshBelowFloor(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", "cubic", 1460, s.sink)
+	tcb := goodTCB(1)
+	tcb.Ssthresh = 2919 // below MinSsthresh(1460) = 2920
+	tr.observe(tcb, 100)
+	if !s.has("ssthresh-below-floor") {
+		t.Fatalf("sub-floor ssthresh not caught: %v", s.got)
+	}
+
+	// Exactly the floor, and the untouched sentinel, are both fine.
+	var s2 sinkT
+	tr2 := newTracker("X", "cubic", 1460, s2.sink)
+	tcb2 := goodTCB(2)
+	tcb2.Ssthresh = cc.MinSsthresh(1460)
+	tr2.observe(tcb2, 100)
+	tcb2.Ssthresh = cc.InitialSsthresh // fresh slot would present this…
+	tcb2.Tuple.RemotePort = 999        // …under a new identity
+	tr2.observe(tcb2, 200)
+	if len(s2.got) != 0 {
+		t.Fatalf("legal ssthresh values flagged: %v", s2.got)
+	}
+}
+
+func TestTrackerSsthreshSentinelRevival(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", "newreno", 1460, s.sink)
+	tcb := goodTCB(1)
+	tcb.Ssthresh = 20000 // lowered by some loss episode
+	tr.observe(tcb, 100)
+	tcb.Ssthresh = cc.InitialSsthresh // snaps back to "never lost"
+	tr.observe(tcb, 200)
+	if !s.has("ssthresh-sentinel-revival") {
+		t.Fatalf("sentinel revival not caught: %v", s.got)
+	}
+}
+
+func TestTrackerBBRSsthreshPinned(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", "bbr", 1460, s.sink)
+	tcb := goodTCB(1)
+	tr.observe(tcb, 100) // sentinel: fine
+	tcb.Ssthresh = 20000 // a loss-based path ran under bbr
+	tr.observe(tcb, 200)
+	if !s.has("bbr-ssthresh-mutated") {
+		t.Fatalf("bbr ssthresh mutation not caught: %v", s.got)
+	}
+}
+
+func TestTrackerCCVarsAliasing(t *testing.T) {
+	var s sinkT
+	tr := newTracker("X", "newreno", 1460, s.sink)
+	tcb := goodTCB(1)
+	tr.beginPass()
+	tr.observe(tcb, 100)
+	// The same arena slot surfacing under a second flow ID in the same
+	// pass: two connections sharing one CCVars block.
+	tcb.FlowID = 2
+	tcb.Tuple.RemotePort = 2
+	tr.observe(tcb, 100)
+	if !s.has("ccvars-aliased") {
+		t.Fatalf("CCVars aliasing not caught: %v", s.got)
+	}
+
+	// Across passes the same address is expected (it's the same flow's
+	// slot being revisited) — no violation.
+	var s2 sinkT
+	tr2 := newTracker("X", "newreno", 1460, s2.sink)
+	tcb2 := goodTCB(3)
+	tr2.beginPass()
+	tr2.observe(tcb2, 100)
+	tr2.beginPass()
+	tr2.observe(tcb2, 200)
+	if len(s2.got) != 0 {
+		t.Fatalf("cross-pass revisit flagged as aliasing: %v", s2.got)
 	}
 }
 
@@ -240,6 +345,39 @@ func TestRigSweepClean(t *testing.T) {
 				}
 				if !res.Drained {
 					t.Fatalf("seed %d failed to drain", seed)
+				}
+			})
+		}
+	}
+}
+
+// TestAllAlgorithmsConformance drives every registered congestion-
+// control program through the same chaos schedule on the engine rigs,
+// including the routed one: whatever program is loaded, the protocol
+// invariants and the per-program CC invariants must hold and the
+// network must drain. This is the registry-driven guarantee that a new
+// algorithm can't ship without surviving the chaos battery.
+func TestAllAlgorithmsConformance(t *testing.T) {
+	rigs := []RigKind{RigEngineEngine, RigEngineEngineRouted}
+	if testing.Short() {
+		rigs = rigs[:1]
+	}
+	for _, alg := range cc.Names() {
+		for _, rig := range rigs {
+			t.Run(alg+"/"+rig.String(), func(t *testing.T) {
+				cfg := smokeConfig(rig, 1)
+				cfg.Alg = alg
+				res := Run(cfg)
+				if res.Failed() {
+					var b strings.Builder
+					for _, v := range res.Violations {
+						b.WriteString("\n  " + v.String())
+					}
+					t.Fatalf("%s on %s violated invariants (%s):%s\n%s",
+						alg, rig, res.Sched, b.String(), ReplayCommand(cfg))
+				}
+				if !res.Drained {
+					t.Fatalf("%s on %s failed to drain", alg, rig)
 				}
 			})
 		}

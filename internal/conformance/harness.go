@@ -7,6 +7,7 @@ import (
 	"f4t/internal/netsim"
 	"f4t/internal/pcap"
 	"f4t/internal/sim"
+	"f4t/internal/tcpproc"
 )
 
 // Config parameterizes one harness run. Identical configs produce
@@ -18,6 +19,13 @@ type Config struct {
 	Phases int
 	Conns  int // concurrent connections (dialed A→B)
 	Chunk  int // bytes per application write while pumping
+
+	// Alg names the congestion-control program both endpoints run
+	// (empty means newreno). The chaos schedules don't care which
+	// program is loaded, so the same seed sweeps every registered
+	// algorithm through identical weather — the CC invariants do the
+	// per-program checking.
+	Alg string
 
 	// Shards > 1 runs the rig on a sharded kernel with the two endpoints
 	// on separate shards. Results are bit-identical to the serial run of
@@ -113,9 +121,13 @@ func Run(cfg Config) Result {
 	} else {
 		fab = sim.New()
 	}
+	alg := cfg.Alg
+	if alg == "" {
+		alg = "newreno"
+	}
 	h := &runner{
 		cfg:     cfg,
-		rig:     NewRigOn(fab, cfg.Rig, cfg.Seed),
+		rig:     NewRigAlgOn(fab, cfg.Rig, cfg.Seed, alg),
 		sched:   NewSchedule(cfg.Seed, cfg.Phases),
 		pending: make(map[uint16]*testConn),
 	}
@@ -130,8 +142,9 @@ func Run(cfg Config) Result {
 			h.viol = append(h.viol, v)
 		}
 	}
-	h.trA = newTracker("A", sink)
-	h.trB = newTracker("B", sink)
+	mss := tcpproc.DefaultConfig().MSS
+	h.trA = newTracker("A", alg, mss, sink)
+	h.trB = newTracker("B", alg, mss, sink)
 
 	h.rig.B.Listen()
 	for i := 0; i < cfg.Conns; i++ {
@@ -298,6 +311,8 @@ func (h *runner) advance(cycles int64, ph *Phase, pred func() bool) bool {
 		h.pump(ph)
 		if i/slice%sampleEvery == 0 {
 			now := h.rig.R.Now()
+			h.trA.beginPass()
+			h.trB.beginPass()
 			h.rig.A.VisitTCBs(func(t *flow.TCB) { h.trA.observe(t, now) })
 			h.rig.B.VisitTCBs(func(t *flow.TCB) { h.trB.observe(t, now) })
 		}

@@ -2,7 +2,9 @@ package conformance
 
 import (
 	"fmt"
+	"unsafe"
 
+	"f4t/internal/cc"
 	"f4t/internal/flow"
 	"f4t/internal/seqnum"
 	"f4t/internal/wire"
@@ -78,25 +80,59 @@ type snap struct {
 	rcvNxt      seqnum.Value
 	deliveredTo seqnum.Value
 	backoff     uint8
+	ssthresh    uint32
+}
+
+// ccActive reports whether a flow's congestion state is live: the
+// handshake has run the program's Init and the flow still owns its send
+// machinery. Pre-established states are excluded (a TCB sampled in
+// LISTEN or mid-handshake may predate Init), as are CLOSED and
+// TIME_WAIT, whose congestion state is dead weight awaiting release.
+func ccActive(st flow.State) bool {
+	switch st {
+	case flow.StateEstablished, flow.StateFinWait1, flow.StateFinWait2,
+		flow.StateClosing, flow.StateCloseWait, flow.StateLastAck:
+		return true
+	}
+	return false
 }
 
 // tracker checks protocol invariants over a stream of TCB observations
 // from one endpoint. Flow IDs may be reused (the engine recycles slots);
-// a tuple change resets that flow's history.
+// a tuple change resets that flow's history. alg and mss parameterize
+// the congestion-control invariants: which program the endpoint runs
+// decides what its Ssthresh is allowed to do.
 type tracker struct {
 	endpoint string
+	alg      string
+	mss      uint32
 	prev     map[flow.ID]snap
 	sink     func(Violation)
 	reported map[string]bool // dedup: one report per (flow, invariant)
+
+	// passSeen maps CCVars base addresses to flow IDs within one
+	// VisitTCBs pass (beginPass resets it). Two live flows resolving to
+	// the same CCVars block means the flat TCB arena handed one
+	// congestion state to two connections.
+	passSeen map[uintptr]flow.ID
 }
 
-func newTracker(endpoint string, sink func(Violation)) *tracker {
+func newTracker(endpoint, alg string, mss uint32, sink func(Violation)) *tracker {
 	return &tracker{
 		endpoint: endpoint,
+		alg:      alg,
+		mss:      mss,
 		prev:     make(map[flow.ID]snap),
 		sink:     sink,
 		reported: make(map[string]bool),
 	}
+}
+
+// beginPass starts a new aliasing-detection window. Call once before
+// each VisitTCBs sweep; observations between calls must come from
+// distinct flows.
+func (tr *tracker) beginPass() {
+	tr.passSeen = make(map[uintptr]flow.ID, len(tr.passSeen))
 }
 
 func (tr *tracker) report(t *flow.TCB, cycle int64, invariant, detail string) {
@@ -131,6 +167,43 @@ func (tr *tracker) observe(t *flow.TCB, cycle int64) {
 		tr.report(t, cycle, "timer-armed-on-closed",
 			fmt.Sprintf("retrans=%d probe=%d delack=%d keepalive=%d",
 				t.RetransAt, t.ProbeAt, t.DelAckAt, t.KeepaliveAt))
+	}
+
+	// Congestion-control state invariants, on flows whose program is live.
+	if ccActive(t.State) {
+		// Every program floors its window at one segment — even the RTO
+		// collapse leaves cwnd = 1 MSS. A smaller window deadlocks the
+		// flow (nothing is ever eligible to send).
+		if t.Cwnd < tr.mss {
+			tr.report(t, cycle, "cwnd-below-mss",
+				fmt.Sprintf("cwnd=%d < mss=%d", t.Cwnd, tr.mss))
+		}
+		if tr.alg == "bbr" {
+			// BBR is model-based: it regulates through cwnd alone and
+			// must never touch the slow-start threshold. A moved
+			// ssthresh means a loss-based code path ran under bbr.
+			if t.Ssthresh != cc.InitialSsthresh {
+				tr.report(t, cycle, "bbr-ssthresh-mutated",
+					fmt.Sprintf("ssthresh=%d, want pinned at %d", t.Ssthresh, uint32(cc.InitialSsthresh)))
+			}
+		} else if t.Ssthresh != cc.InitialSsthresh && t.Ssthresh < cc.MinSsthresh(tr.mss) {
+			// Loss-based programs clamp every ssthresh reduction at
+			// MinSsthresh; anything between the floor and the initial
+			// sentinel escaped the clamp.
+			tr.report(t, cycle, "ssthresh-below-floor",
+				fmt.Sprintf("ssthresh=%d < floor=%d", t.Ssthresh, cc.MinSsthresh(tr.mss)))
+		}
+	}
+
+	// CCVars aliasing: within one visiting pass, each live flow must own
+	// a distinct congestion-variable block in the flat TCB arena.
+	if tr.passSeen != nil && ccActive(t.State) {
+		addr := uintptr(unsafe.Pointer(&t.CCVars[0]))
+		if other, dup := tr.passSeen[addr]; dup && other != t.FlowID {
+			tr.report(t, cycle, "ccvars-aliased",
+				fmt.Sprintf("flows %d and %d share CCVars block %#x", other, t.FlowID, addr))
+		}
+		tr.passSeen[addr] = t.FlowID
 	}
 
 	s, known := tr.prev[t.FlowID]
@@ -173,10 +246,21 @@ func (tr *tracker) observe(t *flow.TCB, cycle int64) {
 				fmt.Sprintf("backoff %d -> %d with SndUna pinned at %d",
 					s.backoff, t.Backoff, t.SndUna))
 		}
+		// Ssthresh may move both ways once lowered (loss raises and
+		// lowers it with cwnd), but it can never return to the initial
+		// "unbounded" sentinel: no program assigns that value after
+		// Init, so seeing it again means the CC state was reinitialized
+		// under a live connection.
+		if ccActive(t.State) && ccActive(s.state) &&
+			s.ssthresh != cc.InitialSsthresh && t.Ssthresh == cc.InitialSsthresh {
+			tr.report(t, cycle, "ssthresh-sentinel-revival",
+				fmt.Sprintf("ssthresh %d -> initial sentinel %d", s.ssthresh, t.Ssthresh))
+		}
 	}
 	tr.prev[t.FlowID] = snap{
 		tuple: t.Tuple, state: t.State,
 		sndUna: t.SndUna, rcvNxt: t.RcvNxt,
 		deliveredTo: t.DeliveredTo, backoff: t.Backoff,
+		ssthresh: t.Ssthresh,
 	}
 }

@@ -29,6 +29,9 @@ func Minimize(cfg Config, run func(Config) Result) (Config, Result, bool) {
 func ReplayCommand(cfg Config) string {
 	s := fmt.Sprintf("go run ./cmd/f4tconform -rig %s -seed %d -phases %d -conns %d -chunk %d",
 		cfg.Rig, cfg.Seed, cfg.Phases, cfg.Conns, cfg.Chunk)
+	if cfg.Alg != "" && cfg.Alg != "newreno" {
+		s += " -alg " + cfg.Alg
+	}
 	if cfg.PCAPPath != "" {
 		s += " -pcap " + cfg.PCAPPath
 	}

@@ -145,11 +145,24 @@ func NewRig(kind RigKind, seed uint64) *Rig {
 	return NewRigOn(sim.New(), kind, seed)
 }
 
-// NewRigOn builds the pairing on any fabric: endpoint A on islandA,
-// endpoint B on islandB. Construction and registration order is fixed,
-// so a sharded rig reproduces a serial rig's results bit for bit (the
-// shard matrix test in shard_test.go holds it to that).
+// NewRigOn builds the pairing on any fabric with both endpoints running
+// newreno, the harness default.
 func NewRigOn(f sim.Fabric, kind RigKind, seed uint64) *Rig {
+	return NewRigAlgOn(f, kind, seed, "newreno")
+}
+
+// NewRigAlgOn builds the pairing on any fabric with both endpoints
+// running the named congestion-control program (endpoint A on islandA,
+// endpoint B on islandB). Construction and registration order is fixed,
+// so a sharded rig reproduces a serial rig's results bit for bit (the
+// shard matrix test in shard_test.go holds it to that). A dctcp rig
+// enables ECN end to end; with no marking discipline on the rig's link
+// the program degrades to its loss response, which is exactly the
+// chaos-weather path the sweep wants to exercise.
+func NewRigAlgOn(f sim.Fabric, kind RigKind, seed uint64, alg string) *Rig {
+	if alg == "" {
+		alg = "newreno"
+	}
 	kA, kB := f.IslandKernel(islandA), f.IslandKernel(islandB)
 	ipA, ipB := wire.MakeAddr(10, 9, 0, 1), wire.MakeAddr(10, 9, 0, 2)
 	macA, macB := wire.MAC{2, 9, 0, 0, 0, 1}, wire.MAC{2, 9, 0, 0, 0, 2}
@@ -183,24 +196,24 @@ func NewRigOn(f sim.Fabric, kind RigKind, seed uint64) *Rig {
 
 	switch kind {
 	case RigSoftSoft:
-		a := newStackEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
-		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
+		a := newStackEnd(kA, "A", ipA, macA, ipB, seed*4+2, alg, txA)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, alg, txB)
 		a.ep.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
 		tickA, tickB = a, b
 		r.A, r.B = a, b
 	case RigEngineSoft:
-		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
-		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, alg, txA)
+		b := newStackEnd(kB, "B", ipB, macB, ipA, seed*4+3, alg, txB)
 		a.eng.LearnPeer(ipB, macB)
 		b.ep.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
 		tickA, tickB = a.eng, b
 		r.A, r.B = a, b
 	case RigEngineEngine, RigEngineEngineRouted:
-		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, txA)
-		b := newEngineEnd(kB, "B", ipB, macB, ipA, seed*4+3, txB)
+		a := newEngineEnd(kA, "A", ipA, macA, ipB, seed*4+2, alg, txA)
+		b := newEngineEnd(kB, "B", ipB, macB, ipA, seed*4+3, alg, txB)
 		a.eng.LearnPeer(ipB, macB)
 		b.eng.LearnPeer(ipA, macA)
 		deliverA, deliverB = a.deliver, b.deliver
@@ -235,11 +248,12 @@ type stackEnd struct {
 	accepted []Conn
 }
 
-func newStackEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer wire.Addr, seed uint64, tx func(*wire.Packet)) *stackEnd {
+func newStackEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer wire.Addr, seed uint64, alg string, tx func(*wire.Packet)) *stackEnd {
 	cfg := tcpproc.DefaultConfig()
 	cfg.RcvBuf = rigRcvBuf
+	cfg.ECN = alg == "dctcp"
 	ep := stack.New(k, stack.Options{
-		IP: ip, MAC: mac, Cfg: cfg, Alg: "newreno", CarryBytes: true, Seed: seed,
+		IP: ip, MAC: mac, Cfg: cfg, Alg: alg, CarryBytes: true, Seed: seed,
 	}, tx)
 	// Registered by NewRigOn so slots are assigned in fabric order.
 	return &stackEnd{name: name, k: k, ep: ep, peer: peer}
@@ -316,11 +330,13 @@ type engineEnd struct {
 	peer wire.Addr
 }
 
-func newEngineEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer wire.Addr, seed uint64, tx func(*wire.Packet)) *engineEnd {
+func newEngineEnd(k *sim.Kernel, name string, ip wire.Addr, mac wire.MAC, peer wire.Addr, seed uint64, alg string, tx func(*wire.Packet)) *engineEnd {
 	cfg := engine.DefaultConfig()
 	cfg.IP, cfg.MAC, cfg.Seed = ip, mac, seed
+	cfg.Alg = alg
 	cfg.CarryBytes = true
 	cfg.Proto.RcvBuf = rigRcvBuf
+	cfg.Proto.ECN = alg == "dctcp"
 	eng := engine.New(k, cfg, tx)
 	// Registered by NewRigOn so slots are assigned in fabric order.
 	return &engineEnd{name: name, eng: eng, lib: softstack.NewLib(k, eng, 0), peer: peer}

@@ -87,9 +87,11 @@ func F4TCwndTrace(alg string, dropEvery int64, durationCycles, sampleCycles int6
 }
 
 // RefCwndTrace runs the independent reference simulator with matching
-// parameters — the NS3 side of Fig 14.
-func RefCwndTrace(alg string, dropEvery int64, durationNS, sampleNS int64) CwndTrace {
-	samples := refsim.Run(refsim.Params{
+// parameters — the NS3 side of Fig 14. It returns refsim's error when the
+// witness does not model the algorithm (refsim fails fast rather than
+// silently substituting newreno).
+func RefCwndTrace(alg string, dropEvery int64, durationNS, sampleNS int64) (CwndTrace, error) {
+	samples, err := refsim.Run(refsim.Params{
 		Alg:        alg,
 		MSS:        1460,
 		RTTns:      3_000,
@@ -99,11 +101,14 @@ func RefCwndTrace(alg string, dropEvery int64, durationNS, sampleNS int64) CwndT
 		SampleNS:   sampleNS,
 	})
 	var tr CwndTrace
+	if err != nil {
+		return tr, err
+	}
 	for _, s := range samples {
 		tr.AtNS = append(tr.AtNS, s.AtNS)
 		tr.Cwnd = append(tr.Cwnd, uint32(s.Cwnd))
 	}
-	return tr
+	return tr, nil
 }
 
 // Fig14 reproduces Figure 14: congestion-window behaviour of F4T vs the
@@ -120,14 +125,20 @@ func Fig14(quick bool) *Table {
 		duration = 3_000_000
 	}
 	const dropEvery = 2000
-	for _, alg := range []string{"newreno", "cubic"} {
+	for _, alg := range []string{"newreno", "cubic", "bbr"} {
 		f4t := F4TCwndTrace(alg, dropEvery, duration, 25_000)
-		ref := RefCwndTrace(alg, dropEvery, duration*4, 100_000)
+		ref, err := RefCwndTrace(alg, dropEvery, duration*4, 100_000)
+		if err != nil {
+			// The loop only names algorithms the witness models; reaching
+			// here means the two lists diverged — surface it loudly.
+			panic(err)
+		}
 		t.AddRow(alg, "F4T", fmt.Sprintf("%d", f4t.LossEpochs()), f1(f4t.MeanCwnd()/1024), fmt.Sprintf("%d", len(f4t.Cwnd)))
 		t.AddRow(alg, "reference", fmt.Sprintf("%d", ref.LossEpochs()), f1(ref.MeanCwnd()/1024), fmt.Sprintf("%d", len(ref.Cwnd)))
 	}
 	t.Notes = append(t.Notes,
 		"paper: F4T faithfully matches NS3's congestion-window behaviour for NEW RENO and CUBIC",
+		"bbr row (beyond paper): both sides show the ProbeRTT/gain-cycle dips instead of a loss sawtooth",
 		"traces available as CSV via cmd/f4ttrace")
 	return t
 }

@@ -102,6 +102,94 @@ func NewF4TStarOn(f sim.Fabric, cores []int, costs cpu.Costs, aqm netsim.AQMConf
 	return s
 }
 
+// F4TDumbbell is the heterogeneous-CC rig: one receiver on router 0,
+// N senders on router 1, and the shared inter-router trunk as the
+// bottleneck every sender contends on. Unlike the star/WAN rigs, each
+// sender runs its *own* congestion-control program — the BBR-vs-CUBIC
+// coexistence shape production networks see and the paper never
+// measures. Node i is island i; routers 0/1 are islands n and n+1.
+type F4TDumbbell struct {
+	R       sim.Runner
+	Kernels []*sim.Kernel
+	Topo    *netsim.Topology
+	Engines []*engine.Engine
+	Machs   []*host.F4TMachine
+	Addrs   []wire.Addr
+	Trunk   *netsim.RouterPort // router1→router0 trunk: the bottleneck
+}
+
+// NewF4TDumbbellOn builds the dumbbell on any fabric. algs[i] names
+// sender i's congestion-control program (the receiver always runs
+// newreno — it only sends acks); trunkGbps sets the bottleneck rate,
+// which should be below LinkGbps so contention happens at the trunk and
+// not at the access links. mutate adjusts the shared base configuration
+// before the per-node alg is applied. Construction order matches the
+// other rigs' determinism contract, so sharded runs stay bit-identical
+// to serial ones.
+func NewF4TDumbbellOn(f sim.Fabric, algs []string, trunkGbps, trunkPropNS int64, costs cpu.Costs, aqm netsim.AQMConfig, mutate func(*engine.Config)) *F4TDumbbell {
+	n := len(algs) + 1
+	specs := make([]netsim.NodeSpec, n)
+	addrs := make([]wire.Addr, n)
+	for i := range specs {
+		addrs[i] = StarAddr(i)
+		router := 1
+		if i == 0 {
+			router = 0 // the receiver sits alone on the left router
+		}
+		specs[i] = netsim.NodeSpec{
+			Addr: addrs[i], MAC: StarMAC(i), Island: i, RouterIdx: router,
+			Gbps: LinkGbps, PropNS: LinkPropNS,
+		}
+	}
+	topo := netsim.NewDumbbellOn(f, [2]int{n, n + 1}, trunkGbps, trunkPropNS, specs, aqm, 6543)
+
+	base := engine.DefaultConfig()
+	if mutate != nil {
+		mutate(&base)
+	}
+	// ECN is a path property: if any sender marks, the receiver must echo.
+	anyDctcp := false
+	for _, a := range algs {
+		anyDctcp = anyDctcp || a == "dctcp"
+	}
+	d := &F4TDumbbell{R: f, Topo: topo, Addrs: addrs, Trunk: topo.TrunkLeft[0]}
+	for i := 0; i < n; i++ {
+		k := f.IslandKernel(i)
+		cfg := base
+		cfg.IP, cfg.MAC = addrs[i], StarMAC(i)
+		cfg.Seed = base.Seed + uint64(505+i*101)
+		cfg.Channels = 1
+		if i == 0 {
+			cfg.Alg = "newreno"
+			cfg.Proto.ECN = anyDctcp
+		} else {
+			cfg.Alg = algs[i-1]
+			cfg.Proto.ECN = algs[i-1] == "dctcp"
+		}
+		eng := engine.New(k, cfg, topo.NodeTX(i))
+		topo.SetNodeSink(i, eng.DeliverPacket)
+		d.Kernels = append(d.Kernels, k)
+		d.Engines = append(d.Engines, eng)
+	}
+	for i, eng := range d.Engines {
+		for j := 0; j < n; j++ {
+			if j != i {
+				eng.LearnPeer(addrs[j], StarMAC(j))
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		d.Machs = append(d.Machs, host.NewF4TMachine(d.Kernels[i], d.Engines[i], 1, costs, addrs))
+	}
+	for i, eng := range d.Engines {
+		f.RegisterOn(i, eng)
+	}
+	for i, m := range d.Machs {
+		f.RegisterOn(i, m)
+	}
+	return d
+}
+
 // WANSpec describes one sender of the RTT-diverse WAN rig: which router
 // of the chain it attaches to and its access propagation delay.
 type WANSpec struct {

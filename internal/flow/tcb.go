@@ -74,7 +74,9 @@ const (
 // CCVarCount is the number of spare TCB words reserved for congestion
 // control algorithm state. The paper notes that implementing CUBIC needed
 // only "adding some entries in the TCB" (§5.4); these are those entries.
-const CCVarCount = 8
+// BBR is the widest program so far (bandwidth filter, min-RTT filter,
+// delivery-rate epoch, mode word, saved window) and sets the count.
+const CCVarCount = 10
 
 // TCB holds all transmission state for one flow. Group (A) fields are
 // owned by the flow processing unit (protocol state); group (B) fields are

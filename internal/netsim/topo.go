@@ -34,7 +34,16 @@ type Topology struct {
 	Routers   []*Router
 	NodePorts []*RouterPort // router→node downlink, per node
 	Uplinks   []*Pipe       // node→router uplink, per node
-	nodes     []NodeSpec
+
+	// Trunk ports, indexed by trunk segment i (between routers i and
+	// i+1): TrunkRight[i] sits on router i facing i+1, TrunkLeft[i] on
+	// router i+1 facing i. On a dumbbell, TrunkLeft[0] is the shared
+	// bottleneck every right-side sender contends on toward router 0 —
+	// the port fairness experiments read their queue evidence from.
+	TrunkRight []*RouterPort
+	TrunkLeft  []*RouterPort
+
+	nodes []NodeSpec
 }
 
 // NewStarOn builds a single-router star (the incast/fan-in shape): all
@@ -96,6 +105,8 @@ func NewChainOn(f sim.Fabric, routerIslands []int, trunkGbps, trunkPropNS int64,
 		f.RegisterOn(routerIslands[i+1], l)
 		left[i] = l
 	}
+	t.TrunkRight = append(t.TrunkRight, right[:nr-1]...)
+	t.TrunkLeft = append(t.TrunkLeft, left[:nr-1]...)
 
 	// Node attachments: a downlink RouterPort (router island → node
 	// island) and an uplink Pipe (node island → router island), seeded

@@ -1,12 +1,20 @@
 package refsim
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
-func run(alg string, drop int64) []Sample {
-	return Run(Params{
+func run(t *testing.T, alg string, drop int64) []Sample {
+	t.Helper()
+	s, err := Run(Params{
 		Alg: alg, MSS: 1460, RTTns: 3000, RateBps: 100e9,
 		DropEvery: drop, DurationNS: 20_000_000, SampleNS: 100_000,
 	})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", alg, err)
+	}
+	return s
 }
 
 func epochs(s []Sample) int {
@@ -19,8 +27,21 @@ func epochs(s []Sample) int {
 	return n
 }
 
+func TestUnknownAlgorithmFailsFast(t *testing.T) {
+	for _, alg := range []string{"", "reno", "bbr2", "newreno "} {
+		s, err := Run(Params{Alg: alg, MSS: 1460, RTTns: 3000, RateBps: 100e9,
+			DurationNS: 1_000_000, SampleNS: 100_000})
+		if err == nil {
+			t.Fatalf("Run(%q) silently succeeded with %d samples", alg, len(s))
+		}
+		if !strings.Contains(err.Error(), "unknown algorithm") {
+			t.Fatalf("Run(%q) error = %v", alg, err)
+		}
+	}
+}
+
 func TestLosslessGrowsMonotonically(t *testing.T) {
-	s := run("newreno", 0)
+	s := run(t, "newreno", 0)
 	for i := 1; i < len(s); i++ {
 		if s[i].Cwnd < s[i-1].Cwnd {
 			t.Fatalf("cwnd shrank without loss at sample %d", i)
@@ -30,7 +51,7 @@ func TestLosslessGrowsMonotonically(t *testing.T) {
 
 func TestPeriodicLossMakesSawtooth(t *testing.T) {
 	for _, alg := range []string{"newreno", "cubic"} {
-		s := run(alg, 2000)
+		s := run(t, alg, 2000)
 		if e := epochs(s); e < 3 {
 			t.Errorf("%s: only %d loss epochs — no sawtooth", alg, e)
 		}
@@ -45,8 +66,8 @@ func TestPeriodicLossMakesSawtooth(t *testing.T) {
 
 func TestCubicDecreaseGentlerThanReno(t *testing.T) {
 	// CUBIC's beta=0.7 vs Reno's 0.5: post-loss windows retain more.
-	reno := run("newreno", 3000)
-	cubic := run("cubic", 3000)
+	reno := run(t, "newreno", 3000)
+	cubic := run(t, "cubic", 3000)
 	mean := func(s []Sample) float64 {
 		var x float64
 		for _, v := range s {
@@ -59,8 +80,91 @@ func TestCubicDecreaseGentlerThanReno(t *testing.T) {
 	}
 }
 
+func TestVegasConvergesNearBDP(t *testing.T) {
+	// Vegas holds a 2–4 segment standing queue: the window must settle
+	// near the BDP (~26 segments for these parameters) instead of either
+	// diverging or collapsing — the character newreno cannot show.
+	s := run(t, "vegas", 0)
+	const bdpBytes = 100e9 / 8 * 3000e-9 // 37500
+	last := s[len(s)-1].Cwnd
+	if last < bdpBytes || last > bdpBytes+8*1460 {
+		t.Fatalf("vegas settled at %.0f bytes, want within [BDP, BDP+8 MSS] of %.0f", last, bdpBytes)
+	}
+	// And it must hold there, not oscillate: the back half of the trace
+	// stays in the same band.
+	for _, v := range s[len(s)/2:] {
+		if v.Cwnd < bdpBytes-2*1460 || v.Cwnd > bdpBytes+8*1460 {
+			t.Fatalf("vegas wandered to %.0f bytes in steady state", v.Cwnd)
+		}
+	}
+}
+
+func TestDCTCPRegulatesOnMarks(t *testing.T) {
+	// No packet loss at all, yet the window must stay bounded near the
+	// BDP: the mark signal alone regulates it.
+	s := run(t, "dctcp", 0)
+	const bdpBytes = 100e9 / 8 * 3000e-9
+	for _, v := range s[len(s)/4:] {
+		if v.Cwnd > 4*bdpBytes {
+			t.Fatalf("dctcp diverged to %.0f bytes without marks biting", v.Cwnd)
+		}
+	}
+	// The alpha-proportional decrease is gentler than halving but must
+	// still produce visible window reductions.
+	if epochs(s) == 0 && s[len(s)-1].Cwnd > 2*bdpBytes {
+		t.Fatal("dctcp neither cut its window nor converged")
+	}
+}
+
+func TestBBRProbeRTTDips(t *testing.T) {
+	// 20 ms at a 10 ms min-RTT window: the trace must show the periodic
+	// ProbeRTT collapse to 4 segments and the restore after 200 us.
+	s := run(t, "bbr", 0)
+	sawFloor := false
+	var peak float64
+	for _, v := range s {
+		if v.Cwnd > peak {
+			peak = v.Cwnd
+		}
+		if v.Cwnd <= 4*1460 {
+			sawFloor = true
+		}
+	}
+	if peak < 20*1460 {
+		t.Fatalf("bbr never filled the pipe: peak %.0f bytes", peak)
+	}
+	// The window must stay anchored to gain×BDP, not run away like
+	// loss-blind slow start would.
+	const bdpBytes = 100e9 / 8 * 3000e-9
+	for _, v := range s[len(s)/4:] {
+		if v.Cwnd > 2*bdpBytes+10*1460 {
+			t.Fatalf("bbr cwnd %.0f bytes unanchored from BDP %.0f", v.Cwnd, bdpBytes)
+		}
+	}
+	if !sawFloor {
+		t.Fatal("no ProbeRTT dip observed in 20 ms")
+	}
+}
+
+func TestBBRSurvivesPeriodicLoss(t *testing.T) {
+	// BBR has no multiplicative decrease: under the Fig-14 drop schedule
+	// its mean window must exceed newreno's, and it must not collapse.
+	bbr := run(t, "bbr", 2000)
+	reno := run(t, "newreno", 2000)
+	mean := func(s []Sample) float64 {
+		var x float64
+		for _, v := range s {
+			x += v.Cwnd
+		}
+		return x / float64(len(s))
+	}
+	if mean(bbr) <= mean(reno) {
+		t.Errorf("bbr mean cwnd %.0f ≤ reno %.0f under loss — model-based character lost", mean(bbr), mean(reno))
+	}
+}
+
 func TestSamplingCadence(t *testing.T) {
-	s := run("newreno", 0)
+	s := run(t, "newreno", 0)
 	if len(s) < 190 || len(s) > 210 {
 		t.Fatalf("%d samples for 20 ms at 100 us cadence", len(s))
 	}
